@@ -1,0 +1,50 @@
+"""Ablation — calibration makes summaries sampling-invariant (Sec. II-A).
+
+The paper motivates anchor-based calibration with Fig. 2: the same route
+recorded under different sampling strategies must yield the same summary.
+This ablation resamples each trip at several rates and measures the
+Jaccard agreement of the symbolic-trajectory landmark sets against the
+densely sampled original.
+"""
+
+import numpy as np
+
+from repro.exceptions import CalibrationError
+from repro.trajectory import downsample_by_time, take_every
+
+N_TRIPS = 20
+
+
+def _run(scenario):
+    rng = np.random.default_rng(41)
+    trips = scenario.simulate_trips(N_TRIPS, depart_time=11 * 3600.0, rng=rng)
+    calibrator = scenario.stmaker.calibrator
+    agreements: dict[str, list[float]] = {"t=15s": [], "t=25s": [], "every 4th": []}
+    for trip in trips:
+        try:
+            base = set(calibrator.calibrate(trip.raw).landmark_ids())
+        except CalibrationError:
+            continue
+        variants = {
+            "t=15s": downsample_by_time(trip.raw, 15.0),
+            "t=25s": downsample_by_time(trip.raw, 25.0),
+            "every 4th": take_every(trip.raw, 4),
+        }
+        for label, variant in variants.items():
+            try:
+                other = set(calibrator.calibrate(variant).landmark_ids())
+            except CalibrationError:
+                agreements[label].append(0.0)
+                continue
+            agreements[label].append(len(base & other) / len(base | other))
+    return {label: float(np.mean(vals)) for label, vals in agreements.items()}
+
+
+def test_ablation_sampling_invariance(benchmark, scenario):
+    result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
+    print("\n=== Ablation — symbolic-trajectory agreement across sampling ===")
+    for label, agreement in result.items():
+        print(f"resampled {label:10s}: Jaccard {agreement:.3f}")
+
+    # Calibration must keep the landmark skeleton stable across sampling.
+    assert all(agreement > 0.75 for agreement in result.values())

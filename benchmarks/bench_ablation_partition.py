@@ -1,0 +1,59 @@
+"""Ablation — partition quality and dynamic-program scaling.
+
+Two design checks DESIGN.md calls out:
+
+* the k-partition DP must actually beat naive alternatives (equal-width
+  splitting) on the chain potential it optimizes;
+* the DP must scale linearly enough that Fig. 12's per-trajectory cost
+  stays in the tens of milliseconds (the DP is O(n·k)).
+"""
+
+import numpy as np
+
+from repro.core import optimal_k_partition, partition_potential, spans_from_boundaries
+
+
+def _random_instance(rng, n):
+    similarities = rng.uniform(0.5, 1.0, n - 1).tolist()
+    boundaries = (0.5 * rng.uniform(0.0, 1.0, n - 1)).tolist()
+    return similarities, boundaries
+
+
+def _equal_width(n_segments, k):
+    cuts = [((i + 1) * n_segments) // k - 1 for i in range(k - 1)]
+    return spans_from_boundaries(n_segments, cuts)
+
+
+def test_ablation_dp_beats_equal_width(benchmark, scenario):
+    rng = np.random.default_rng(53)
+
+    def run():
+        dp_wins = 0
+        margin = 0.0
+        trials = 200
+        for _ in range(trials):
+            n = int(rng.integers(8, 30))
+            k = int(rng.integers(2, min(8, n)))
+            sims, bounds = _random_instance(rng, n)
+            dp = partition_potential(optimal_k_partition(sims, bounds, k), sims, bounds)
+            naive = partition_potential(_equal_width(n, k), sims, bounds)
+            if dp <= naive + 1e-12:
+                dp_wins += 1
+            margin += naive - dp
+        return dp_wins / trials, margin / trials
+
+    win_rate, mean_margin = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation — k-partition DP vs equal-width splitting ===")
+    print(f"DP no worse than equal-width: {win_rate:.1%} of instances")
+    print(f"mean potential improvement:   {mean_margin:.3f}")
+    assert win_rate == 1.0  # the DP is optimal; it can never lose
+    assert mean_margin > 0.0
+
+
+def test_ablation_dp_scaling(benchmark):
+    """DP runtime on a 200-segment trajectory with k=7 (pytest-benchmark)."""
+    rng = np.random.default_rng(54)
+    sims, bounds = _random_instance(rng, 200)
+
+    spans = benchmark(optimal_k_partition, sims, bounds, 7)
+    assert len(spans) == 7

@@ -1,0 +1,72 @@
+"""Dataset description (paper Sec. VII-A equivalents).
+
+The paper describes its substrates: a commercial Beijing map, ~32k turning
+points + ~17k POI clusters as landmarks, and 100k+ taxi trajectories split
+into training and testing.  This bench prints the equivalent numbers of
+the simulated scenario, so every experiment report starts from a known
+dataset card.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.simulate.stats import (
+    corpus_statistics,
+    landmark_statistics,
+    network_statistics,
+)
+
+N_SAMPLE_TRIPS = 50
+
+
+def _run(scenario):
+    net = network_statistics(scenario.network)
+    lms = landmark_statistics(scenario.landmarks)
+    rng = np.random.default_rng(71)
+    trips = scenario.simulate_trips(N_SAMPLE_TRIPS, rng=rng)
+    corpus = corpus_statistics(trips, scenario.network)
+    return net, lms, corpus
+
+
+def test_dataset_description(benchmark, scenario):
+    net, lms, corpus = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
+
+    print("\n=== Dataset card (paper Sec. VII-A equivalent) ===")
+    print(format_table(
+        ["road network", "value"],
+        [
+            ["intersections", net.nodes],
+            ["road segments", net.edges],
+            ["total length (km)", net.total_length_km],
+            ["one-way share", net.one_way_share],
+        ],
+    ))
+    print()
+    print(format_table(
+        ["landmarks", "value"],
+        [
+            ["total", lms["total"]],
+            ["POI clusters", lms["poi_clusters"]],
+            ["turning points", lms["turning_points"]],
+            ["significance median", lms["significance_median"]],
+        ],
+    ))
+    print()
+    print(format_table(
+        ["trip corpus (sample)", "value"],
+        [
+            ["trips", corpus.trips],
+            ["mean samples/trip", corpus.mean_samples_per_trip],
+            ["mean duration (s)", corpus.mean_duration_s],
+            ["mean length (km)", corpus.mean_length_km],
+            ["mean speed (km/h)", corpus.mean_speed_kmh],
+            ["trips with stops", corpus.trips_with_stops],
+            ["trips with U-turns", corpus.trips_with_u_turns],
+        ],
+    ))
+
+    # Sanity: the simulated city is city-shaped.
+    assert net.nodes > 100
+    assert lms["total"] > 100
+    assert 10.0 < corpus.mean_speed_kmh < 90.0
+    assert 1.0 < corpus.mean_length_km < 10.0

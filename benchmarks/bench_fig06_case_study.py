@@ -1,0 +1,31 @@
+"""Fig. 6 — case study: one trajectory summarized at k = 1, 2, 3.
+
+Paper expectation: more detail appears as k grows; the k=1 summary reports
+only the most significant behaviours of the whole trip, finer k reveals
+per-part behaviours (stay points, the U-turn) and additional landmarks.
+"""
+
+from repro.experiments import run_case_study
+
+
+def test_fig06_case_study(benchmark, scenario):
+    result = benchmark.pedantic(run_case_study, args=(scenario,), rounds=1, iterations=1)
+
+    print("\n=== Fig. 6 — case study (k = 1, 2, 3) ===")
+    print(
+        f"ground truth: {len(result.trip.stops)} stop(s), "
+        f"{len(result.trip.u_turns)} U-turn(s)\n"
+    )
+    for k, summary in sorted(result.summaries.items()):
+        print(f"k = {k} ({summary.partition_count} partition(s)):")
+        print(f"  {summary.text}\n")
+
+    # Shape assertions mirroring the paper's narrative.
+    assert result.summaries[1].partition_count == 1
+    assert result.summaries[2].partition_count == 2
+    assert result.summaries[3].partition_count == 3
+    # Growing k never mentions fewer landmarks.
+    landmark_counts = [
+        len(set(result.summaries[k].mentioned_landmark_names())) for k in (1, 2, 3)
+    ]
+    assert landmark_counts[0] <= landmark_counts[1] <= landmark_counts[2]

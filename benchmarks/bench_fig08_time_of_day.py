@@ -1,0 +1,42 @@
+"""Fig. 8 — feature frequency (FF) of the six features across 12 two-hour
+time bins.
+
+Paper expectation (Sec. VII-C.2): features have conspicuously higher FF
+during daytime than at (late) night; the speed feature peaks in the rush
+bins 6-10 and 16-20.
+"""
+
+import numpy as np
+
+from repro.experiments import format_ff_table, run_time_of_day
+from repro.features import SPEED, STAY_POINTS
+
+TRIPS_PER_BIN = 40
+
+
+def test_fig08_time_of_day(benchmark, scenario):
+    result = benchmark.pedantic(
+        run_time_of_day, args=(scenario,),
+        kwargs={"trips_per_bin": TRIPS_PER_BIN}, rounds=1, iterations=1,
+    )
+
+    print("\n=== Fig. 8 — feature frequency across the day ===")
+    print(format_ff_table(
+        result.bin_labels, result.ff_by_bin, result.feature_keys, "time bin",
+    ))
+    print("\nday (06-18) vs night (18-06) means:")
+    for key in result.feature_keys:
+        print(f"  {key:18s} day={result.daytime_mean(key):.3f}  "
+              f"night={result.night_mean(key):.3f}")
+
+    # Shape assertions.
+    ff = result.ff_by_bin
+    # Speed peaks in the rush bins (08-10, 16-18, 18-20) relative to the
+    # late-night bins (22-24, 00-02, 02-04).
+    rush_speed = np.mean([ff[i][SPEED] for i in (4, 8, 9)])
+    late_night_speed = np.mean([ff[i][SPEED] for i in (11, 0, 1)])
+    assert rush_speed > late_night_speed
+    # Stay points: daytime busier than deep night.
+    day_stay = np.mean([ff[i][STAY_POINTS] for i in range(3, 10)])
+    night_stay = np.mean([ff[i][STAY_POINTS] for i in (11, 0, 1, 2)])
+    assert day_stay > night_stay

@@ -1,0 +1,31 @@
+"""Fig. 10(a) — effect of the feature weight.
+
+Paper expectation: raising the weight of the Spe feature from 0.5 to 4
+gradually increases FF(Spe); the other features stay roughly flat.
+"""
+
+from repro.experiments import format_ff_table, run_feature_weight_sweep
+from repro.features import SPEED
+
+N_TRIPS = 120
+WEIGHTS = (0.5, 1.0, 2.0, 3.0, 4.0)
+
+
+def test_fig10a_feature_weight(benchmark, scenario):
+    result = benchmark.pedantic(
+        run_feature_weight_sweep, args=(scenario,),
+        kwargs={"weights": WEIGHTS, "n_trips": N_TRIPS}, rounds=1, iterations=1,
+    )
+
+    print("\n=== Fig. 10(a) — FF vs weight of Spe ===")
+    print(format_ff_table(
+        [f"w(Spe)={w}" for w in result.weights], result.ff_by_weight,
+        result.feature_keys, "weight",
+    ))
+
+    spe = [row[SPEED] for row in result.ff_by_weight]
+    # FF(Spe) grows with its weight (non-strictly, as in the paper's plot).
+    assert spe[0] <= spe[2] <= spe[-1]
+    assert spe[-1] > spe[0]
+    # FF(Spe) at the top weight saturates near 1.
+    assert spe[-1] > 0.8

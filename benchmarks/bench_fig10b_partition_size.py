@@ -1,0 +1,32 @@
+"""Fig. 10(b) — effect of the partition size k (seven features incl. SpeC).
+
+Paper expectation: as k grows from 1 to 7, the FF of routing features
+(GR, RW, TD) decreases — short partitions follow the popular route more —
+while the FF of moving features (Spe, Stay, U-turn, SpeC) increases —
+local anomalies stop being diluted over long partitions.
+"""
+
+from repro.experiments import format_ff_table, run_partition_size_sweep
+
+N_TRIPS = 120
+KS = (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_fig10b_partition_size(benchmark, scenario_with_spec):
+    result = benchmark.pedantic(
+        run_partition_size_sweep, args=(scenario_with_spec,),
+        kwargs={"ks": KS, "n_trips": N_TRIPS}, rounds=1, iterations=1,
+    )
+
+    print("\n=== Fig. 10(b) — FF vs partition size k ===")
+    print(format_ff_table(
+        [f"k={k}" for k in result.ks], result.ff_by_k, result.feature_keys, "k",
+    ))
+    routing = [result.routing_mean(i) for i in range(len(KS))]
+    moving = [result.moving_mean(i) for i in range(len(KS))]
+    print(f"\nrouting mean by k: {[round(v, 3) for v in routing]}")
+    print(f"moving  mean by k: {[round(v, 3) for v in moving]}")
+
+    # Shape assertions: compare the coarse end against the fine end.
+    assert routing[0] > routing[-1]
+    assert moving[-1] > moving[0]

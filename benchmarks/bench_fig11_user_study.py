@@ -1,0 +1,35 @@
+"""Fig. 11 — user feedback (simulated readers; see DESIGN.md).
+
+Paper expectation: ~55 % of 450 summaries graded at understanding level 4
+and ~80 % at levels 3-4; level 1 is rare.  Our readers are simulated
+against the trip simulator's ground truth (the paper used 30 volunteers),
+but they grade the same construct: does the summary convey where and how
+the object travelled?
+"""
+
+from repro.experiments import format_table, run_user_study_experiment
+
+N_SUMMARIES = 450
+N_READERS = 30
+
+
+def test_fig11_user_study(benchmark, scenario):
+    result = benchmark.pedantic(
+        run_user_study_experiment, args=(scenario,),
+        kwargs={"n_summaries": N_SUMMARIES, "n_readers": N_READERS},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        [f"level {level}", share] for level, share in sorted(result.histogram.items())
+    ]
+    print("\n=== Fig. 11 — simulated user study ===")
+    print(format_table(["understanding level", "fraction"], rows))
+    top2 = result.histogram[3] + result.histogram[4]
+    print(f"\nlevel 4: {result.histogram[4]:.3f} (paper: ~0.55)")
+    print(f"levels 3+4: {top2:.3f} (paper: ~0.80)")
+
+    # Shape assertions.
+    assert result.histogram[4] == max(result.histogram.values())
+    assert top2 >= 0.6
+    assert result.histogram[1] < 0.2

@@ -1,0 +1,44 @@
+"""Fig. 12 — average time cost for summarizing one trajectory.
+
+Paper expectation: most trajectories summarize within tens of
+milliseconds; the cost grows mildly with the trajectory size |T| and with
+the requested partition count k.
+
+This bench reports two views: the experiment-runner tables (means vs |T|
+and vs k, as in the paper's two subfigures) and a pytest-benchmark timing
+of the end-to-end ``summarize`` call.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table, run_efficiency
+
+N_TRIPS = 60
+
+
+def test_fig12_time_cost_tables(benchmark, scenario):
+    result = benchmark.pedantic(
+        run_efficiency, args=(scenario,),
+        kwargs={"n_trips": N_TRIPS}, rounds=1, iterations=1,
+    )
+
+    print("\n=== Fig. 12(a) — mean time vs |T| (landmark count) ===")
+    print(format_table(["|T| bucket", "mean ms"], result.by_size))
+    print("\n=== Fig. 12(b) — mean time vs k ===")
+    print(format_table(["k", "mean ms"], result.by_k))
+
+    # Shape assertions: laptop-scale milliseconds, mild growth.
+    assert all(ms < 500.0 for _, ms in result.by_size)
+    assert all(ms < 500.0 for _, ms in result.by_k)
+    # Larger trajectories cost more than the smallest bucket on average.
+    if len(result.by_size) >= 2:
+        assert result.by_size[-1][1] >= result.by_size[0][1] * 0.5
+
+
+def test_fig12_single_summarize_benchmark(benchmark, scenario):
+    """pytest-benchmark statistics for one end-to-end summarization."""
+    rng = np.random.default_rng(99)
+    trip = scenario.simulate_trips(1, depart_time=10 * 3600.0, rng=rng)[0]
+
+    result = benchmark(scenario.stmaker.summarize, trip.raw)
+    assert result.text

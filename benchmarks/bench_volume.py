@@ -1,0 +1,81 @@
+"""Data-volume comparison (paper Sec. I, "Data volume").
+
+The paper motivates summaries as lightweight alternatives to raw and
+semantic trajectories: "the output text is lightweight and easy to store
+and communicate."  This bench quantifies that claim on the simulated
+corpus: bytes of the raw CSV representation, of a semantic-trajectory
+proxy (every sample annotated with its road attributes, as in the
+annotated-trajectory literature), and of the generated summary.
+"""
+
+import json
+
+import numpy as np
+
+from repro.exceptions import CalibrationError
+from repro.mapmatch import HMMMapMatcher
+from repro.trajectory import format_timestamp
+
+N_TRIPS = 30
+
+
+def _raw_csv_bytes(raw) -> int:
+    lines = ["latitude,longitude,timestamp"]
+    lines += [
+        f"{p.point.lat:.6f},{p.point.lon:.6f},{format_timestamp(p.t)}" for p in raw
+    ]
+    return len("\n".join(lines).encode("utf-8"))
+
+
+def _semantic_bytes(network, matcher, raw) -> int:
+    """Size of a semantic trajectory: each sample + its road annotation."""
+    result = matcher.match(raw.points)
+    edge_of_point = {m.point_index: m.edge_id for m in result.matched}
+    rows = []
+    for i, p in enumerate(raw):
+        row = {"lat": p.point.lat, "lon": p.point.lon, "t": p.t}
+        edge_id = edge_of_point.get(i)
+        if edge_id is not None:
+            edge = network.edge(edge_id)
+            row.update(
+                road=edge.name,
+                grade=edge.grade.display_name,
+                width=edge.width_m,
+                direction=edge.direction.display_name,
+            )
+        rows.append(row)
+    return len(json.dumps(rows).encode("utf-8"))
+
+
+def _run(scenario):
+    rng = np.random.default_rng(61)
+    trips = scenario.simulate_trips(N_TRIPS, rng=rng)
+    matcher = HMMMapMatcher(scenario.network)
+    raw_total = semantic_total = summary_total = 0
+    counted = 0
+    for trip in trips:
+        try:
+            summary = scenario.stmaker.summarize(trip.raw, k=2)
+        except CalibrationError:
+            continue
+        raw_total += _raw_csv_bytes(trip.raw)
+        semantic_total += _semantic_bytes(scenario.network, matcher, trip.raw)
+        summary_total += len(summary.text.encode("utf-8"))
+        counted += 1
+    return raw_total / counted, semantic_total / counted, summary_total / counted
+
+
+def test_volume_summary_is_lightweight(benchmark, scenario):
+    raw_bytes, semantic_bytes, summary_bytes = benchmark.pedantic(
+        _run, args=(scenario,), rounds=1, iterations=1
+    )
+    print("\n=== Data volume per trajectory (mean bytes) ===")
+    print(f"raw CSV:             {raw_bytes:10.0f}")
+    print(f"semantic trajectory: {semantic_bytes:10.0f}")
+    print(f"summary text:        {summary_bytes:10.0f}")
+    print(f"\nsummary vs raw:      {raw_bytes / summary_bytes:6.1f}x smaller")
+    print(f"summary vs semantic: {semantic_bytes / summary_bytes:6.1f}x smaller")
+
+    # The paper's qualitative ordering: semantic > raw >> summary.
+    assert semantic_bytes > raw_bytes
+    assert raw_bytes > 5 * summary_bytes

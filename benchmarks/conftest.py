@@ -1,0 +1,38 @@
+"""Shared scenario fixtures for the benchmark harness.
+
+Each bench regenerates one table/figure of the paper's evaluation section
+(see DESIGN.md for the experiment index).  The scenario is built once per
+session; per-figure workload sizes are chosen so the whole harness runs in
+a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate import CityScenario, ScenarioConfig
+
+#: Training-corpus size: large enough for dense feature-map coverage.
+TRAINING_TRIPS = 1_200
+
+
+@pytest.fixture(scope="session")
+def scenario() -> CityScenario:
+    """The standard evaluation scenario (6 paper features)."""
+    return CityScenario.build(
+        ScenarioConfig(seed=7, n_training_trips=TRAINING_TRIPS, training_days=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario_with_spec() -> CityScenario:
+    """Scenario whose registry includes the SpeC extension feature
+    (Fig. 10(b) reports seven features)."""
+    return CityScenario.build(
+        ScenarioConfig(
+            seed=7,
+            n_training_trips=TRAINING_TRIPS,
+            training_days=5,
+            include_speed_change_feature=True,
+        )
+    )

@@ -1,0 +1,72 @@
+"""repro — reproduction of "Making Sense of Trajectory Data" (ICDE 2015).
+
+The library implements STMaker, the partition-and-summarization framework
+that turns a raw GPS trajectory into a short natural-language summary, plus
+every substrate the paper depends on: a road network with routing, landmark
+extraction (POI clustering and turning points), HITS-like landmark
+significance, anchor-based calibration, HMM map matching, popular-route
+mining, historical feature maps, and a taxi-fleet simulator standing in for
+the paper's Beijing datasets.
+
+Quickstart::
+
+    from repro import CityScenario, ScenarioConfig
+
+    scenario = CityScenario.build(ScenarioConfig(seed=7))
+    trip = scenario.simulate_trip()
+    summary = scenario.stmaker.summarize(trip.raw, k=2)
+    print(summary.text)
+"""
+
+from repro.exceptions import (
+    CalibrationError,
+    ConfigError,
+    FeatureError,
+    GeometryError,
+    MapMatchError,
+    NoPathError,
+    PartitionError,
+    ReproError,
+    RoadNetworkError,
+    SummarizationError,
+    TrajectoryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "RoadNetworkError",
+    "NoPathError",
+    "TrajectoryError",
+    "CalibrationError",
+    "MapMatchError",
+    "FeatureError",
+    "PartitionError",
+    "SummarizationError",
+    "ConfigError",
+    "CityScenario",
+    "ScenarioConfig",
+    "STMaker",
+    "SummarizerConfig",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Heavy public entry points are imported lazily so that
+    # ``import repro`` stays cheap for users of a single substrate.
+    if name in ("CityScenario", "ScenarioConfig"):
+        from repro.simulate import scenario as _scenario
+
+        return getattr(_scenario, name)
+    if name == "STMaker":
+        from repro.core.summarizer import STMaker as _STMaker
+
+        return _STMaker
+    if name == "SummarizerConfig":
+        from repro.core.config import SummarizerConfig as _SummarizerConfig
+
+        return _SummarizerConfig
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,5 @@
+"""Anchor-based calibration of raw trajectories to the landmark set."""
+
+from repro.calibration.anchor import AnchorCalibrator, CalibrationConfig
+
+__all__ = ["AnchorCalibrator", "CalibrationConfig"]

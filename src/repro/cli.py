@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+``stmaker demo`` builds a deterministic city scenario, simulates a trip and
+prints its summaries at several granularities (the Fig. 6 experience);
+``stmaker summarize`` runs the pipeline on a user-supplied CSV trajectory
+recorded inside the synthetic city; ``stmaker experiment`` regenerates any
+of the paper's evaluation figures from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+
+
+def _build_scenario(seed: int, training: int):
+    from repro.simulate import CityScenario, ScenarioConfig
+
+    print(f"building scenario (seed={seed}, training trips={training}) ...")
+    return CityScenario.build(
+        ScenarioConfig(seed=seed, n_training_trips=training)
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args.seed, args.training)
+    trip = scenario.simulate_trip(depart_time=args.hour * 3600.0)
+    print(
+        f"\nsimulated trip: {len(trip.raw)} GPS samples, "
+        f"{len(trip.stops)} stop(s), {len(trip.u_turns)} U-turn(s)\n"
+    )
+    for k in (1, 2, 3):
+        summary = scenario.stmaker.summarize(trip.raw, k=k)
+        print(f"k = {k}:")
+        print(f"  {summary.text}\n")
+
+    if not args.no_map:
+        from repro.viz import render_summary_map
+
+        summary = scenario.stmaker.summarize(trip.raw, k=2)
+        canvas = render_summary_map(
+            scenario.network, trip.raw, summary, scenario.landmarks
+        )
+        print(canvas.text())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import save_stmaker
+
+    scenario = _build_scenario(args.seed, args.training)
+    save_stmaker(scenario.stmaker, args.out)
+    print(f"trained model written to {args.out}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.trajectory import read_trajectory_csv
+
+    if args.model:
+        from repro.core import load_stmaker
+
+        print(f"loading model from {args.model} ...")
+        stmaker = load_stmaker(args.model)
+    else:
+        stmaker = _build_scenario(args.seed, args.training).stmaker
+    trajectory = read_trajectory_csv(args.csv)
+    summary = stmaker.summarize(trajectory, k=args.k)
+    print(summary.text)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    scenario = _build_scenario(args.seed, args.training)
+    name = args.figure
+    if name == "fig8":
+        result = exp.run_time_of_day(scenario, trips_per_bin=args.size)
+        print(exp.format_ff_table(
+            result.bin_labels, result.ff_by_bin, result.feature_keys,
+            "time bin", "Fig. 8 — feature frequency across the day",
+        ))
+    elif name == "fig9":
+        result = exp.run_landmark_usage(scenario, n_trips=args.size)
+        rows = [
+            [f"top {i * 10}-{i * 10 + 10}%", share]
+            for i, share in enumerate(result.decile_share)
+        ]
+        print(exp.format_table(
+            ["significance group", "usage share"], rows,
+            "Fig. 9 — landmark usage by significance decile",
+        ))
+    elif name == "fig10a":
+        result = exp.run_feature_weight_sweep(scenario, n_trips=args.size)
+        print(exp.format_ff_table(
+            [f"w(Spe)={w}" for w in result.weights], result.ff_by_weight,
+            result.feature_keys, "weight", "Fig. 10(a) — effect of feature weight",
+        ))
+    elif name == "fig10b":
+        result = exp.run_partition_size_sweep(scenario, n_trips=args.size)
+        print(exp.format_ff_table(
+            [f"k={k}" for k in result.ks], result.ff_by_k,
+            result.feature_keys, "k", "Fig. 10(b) — effect of partition size",
+        ))
+    elif name == "fig11":
+        result = exp.run_user_study_experiment(scenario, n_summaries=args.size)
+        rows = [[f"level {lvl}", share] for lvl, share in sorted(result.histogram.items())]
+        print(exp.format_table(
+            ["understanding", "fraction"], rows, "Fig. 11 — simulated user study",
+        ))
+    elif name == "fig12":
+        result = exp.run_efficiency(scenario, n_trips=args.size)
+        print(exp.format_table(
+            ["|T| bucket", "mean ms"], result.by_size, "Fig. 12(a) — time vs |T|",
+        ))
+        print()
+        print(exp.format_table(
+            ["k", "mean ms"], result.by_k, "Fig. 12(b) — time vs k",
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown figure {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stmaker",
+        description="STMaker trajectory summarization (ICDE 2015 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="scenario seed")
+    parser.add_argument(
+        "--training", type=int, default=400, help="training corpus size"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="summarize a simulated trip at k=1,2,3")
+    demo.add_argument("--hour", type=float, default=8.5, help="departure hour")
+    demo.add_argument(
+        "--no-map", action="store_true", help="skip the ASCII route map"
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    train = sub.add_parser("train", help="train a model and save it to JSON")
+    train.add_argument("--out", default="stmaker-model.json", help="output path")
+    train.set_defaults(func=_cmd_train)
+
+    summ = sub.add_parser("summarize", help="summarize a CSV trajectory")
+    summ.add_argument("csv", help="CSV file: latitude,longitude,timestamp")
+    summ.add_argument("-k", type=int, default=None, help="partition count")
+    summ.add_argument(
+        "--model", default=None,
+        help="trained model JSON (from 'stmaker train'); skips the rebuild",
+    )
+    summ.set_defaults(func=_cmd_summarize)
+
+    expe = sub.add_parser("experiment", help="regenerate a paper figure")
+    expe.add_argument(
+        "figure",
+        choices=["fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12"],
+    )
+    expe.add_argument("--size", type=int, default=50, help="workload size")
+    expe.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``stmaker`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Summarizer configuration (the knobs of paper Sec. VII-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class SummarizerConfig:
+    """Tunable parameters of the partition-and-summarization pipeline.
+
+    The defaults are the paper's experiment settings: landmark-significance
+    weight ``Ca = 0.5``, every feature weight 1, and irregular-rate
+    threshold ``η = 0.2``.
+    """
+
+    #: Weight of landmark significance in the potential function (Eq. 2).
+    ca: float = 0.5
+    #: Features with irregular rate >= this threshold enter the summary.
+    irregular_threshold: float = 0.2
+    #: Per-feature weights ``w_f``; unlisted features default to 1.
+    feature_weights: dict[str, float] = field(default_factory=dict)
+    #: ``popular_route`` transitions need at least this support.
+    popular_route_min_support: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ca < 0.0:
+            raise ConfigError(f"Ca must be non-negative, got {self.ca}")
+        if self.irregular_threshold < 0.0:
+            raise ConfigError(
+                f"irregular threshold must be non-negative, got {self.irregular_threshold}"
+            )
+        for key, weight in self.feature_weights.items():
+            if weight < 0.0:
+                raise ConfigError(f"negative weight for feature {key!r}: {weight}")
+        if self.popular_route_min_support < 1:
+            raise ConfigError("popular_route_min_support must be at least 1")
+
+    def weight(self, key: str) -> float:
+        """Weight of feature *key* (1.0 unless overridden)."""
+        return self.feature_weights.get(key, 1.0)
+
+    def with_weight(self, key: str, weight: float) -> "SummarizerConfig":
+        """A copy with one feature weight overridden."""
+        weights = dict(self.feature_weights)
+        weights[key] = weight
+        return SummarizerConfig(
+            ca=self.ca,
+            irregular_threshold=self.irregular_threshold,
+            feature_weights=weights,
+            popular_route_min_support=self.popular_route_min_support,
+        )

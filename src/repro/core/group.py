@@ -1,0 +1,208 @@
+"""Trajectory-group summarization — the paper's stated future work.
+
+Sec. IX: "We expect this work will trigger several interesting open
+problems in this direction, such as summarization of trajectory group".
+This module provides that extension on top of the trained STMaker: given a
+set of trajectories over the same origin/destination (a flow), it
+
+1. calibrates every member and identifies the *consensus route* (the modal
+   landmark sequence) and how dominant it is;
+2. aggregates each feature's observed and regular values across members
+   and selects the group-level irregular features with the same η
+   threshold as single-trajectory summarization;
+3. flags *outlier members* — trajectories whose individual behaviour
+   deviates far beyond the group's (e.g. the one cab that made a U-turn);
+4. realizes a short group summary text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.summarizer import STMaker
+from repro.core.templates import number_word, phrase_for, pluralize
+from repro.core.types import FeatureAssessment, PartitionSpan
+from repro.exceptions import CalibrationError, SummarizationError
+from repro.trajectory import RawTrajectory
+
+
+@dataclass(frozen=True, slots=True)
+class GroupMember:
+    """One group member's whole-trip assessment."""
+
+    trajectory_id: str
+    landmark_ids: tuple[int, ...]
+    assessments: list[FeatureAssessment]
+
+    def rate(self, key: str) -> float:
+        for assessment in self.assessments:
+            if assessment.key == key:
+                return assessment.irregular_rate
+        return 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class GroupSummary:
+    """The summary of a trajectory group."""
+
+    source_name: str
+    destination_name: str
+    member_count: int
+    consensus_share: float
+    aggregated: list[FeatureAssessment]
+    selected: list[FeatureAssessment]
+    outliers: list[str]  # trajectory ids
+    text: str
+
+
+class GroupSummarizer:
+    """Summarizes flows of trajectories sharing an origin/destination."""
+
+    def __init__(self, stmaker: STMaker, outlier_factor: float = 3.5) -> None:
+        if outlier_factor <= 1.0:
+            raise SummarizationError("outlier factor must exceed 1")
+        self.stmaker = stmaker
+        self.outlier_factor = outlier_factor
+
+    def summarize_group(self, trajectories: list[RawTrajectory]) -> GroupSummary:
+        """Summarize a group; raises when fewer than two members calibrate."""
+        members = self._assess_members(trajectories)
+        if len(members) < 2:
+            raise SummarizationError(
+                f"a group needs at least 2 calibratable members, got {len(members)}"
+            )
+        source, destination = self._group_endpoints(members)
+        consensus_share = self._consensus_share(members)
+        aggregated = self._aggregate(members)
+        threshold = self.stmaker.config.irregular_threshold
+        selected = [a for a in aggregated if a.irregular_rate >= threshold]
+        outliers = self._outliers(members, aggregated)
+        text = self._render(
+            source, destination, len(members), consensus_share, selected, outliers
+        )
+        return GroupSummary(
+            source, destination, len(members), consensus_share,
+            aggregated, selected, outliers, text,
+        )
+
+    # -- steps -------------------------------------------------------------------
+
+    def _assess_members(self, trajectories: list[RawTrajectory]) -> list[GroupMember]:
+        members = []
+        for raw in trajectories:
+            try:
+                symbolic = self.stmaker.calibrator.calibrate(raw)
+            except CalibrationError:
+                continue
+            features = self.stmaker.pipeline.extract(raw, symbolic)
+            span = PartitionSpan(0, symbolic.segment_count - 1)
+            assessment = self.stmaker.selector.assess(symbolic, features, span)
+            members.append(
+                GroupMember(
+                    raw.trajectory_id,
+                    tuple(symbolic.landmark_ids()),
+                    assessment.assessments,
+                )
+            )
+        return members
+
+    def _group_endpoints(self, members: list[GroupMember]) -> tuple[str, str]:
+        """Modal source and destination landmark names."""
+        landmarks = self.stmaker.landmarks
+
+        def modal(values: list[int]) -> int:
+            tally: dict[int, int] = {}
+            for v in values:
+                tally[v] = tally.get(v, 0) + 1
+            return max(tally, key=lambda v: (tally[v], -v))
+
+        src = modal([m.landmark_ids[0] for m in members])
+        dst = modal([m.landmark_ids[-1] for m in members])
+        return landmarks.get(src).name, landmarks.get(dst).name
+
+    def _consensus_share(self, members: list[GroupMember]) -> float:
+        """Share of members following the modal landmark sequence."""
+        tally: dict[tuple[int, ...], int] = {}
+        for member in members:
+            tally[member.landmark_ids] = tally.get(member.landmark_ids, 0) + 1
+        return max(tally.values()) / len(members)
+
+    def _aggregate(self, members: list[GroupMember]) -> list[FeatureAssessment]:
+        """Mean observed/regular/rate per feature over the group.
+
+        Extras from the member with the highest rate are kept so that
+        templates can still name roads and places.
+        """
+        out = []
+        for definition in self.stmaker.registry:
+            key = definition.key
+            rows = [
+                a for m in members for a in m.assessments if a.key == key
+            ]
+            if not rows:
+                continue
+            top = max(rows, key=lambda a: a.irregular_rate)
+            out.append(
+                FeatureAssessment(
+                    key,
+                    definition.kind,
+                    sum(a.observed for a in rows) / len(rows),
+                    sum(a.regular for a in rows) / len(rows),
+                    sum(a.irregular_rate for a in rows) / len(rows),
+                    dict(top.extras),
+                )
+            )
+        return out
+
+    def _outliers(
+        self, members: list[GroupMember], aggregated: list[FeatureAssessment]
+    ) -> list[str]:
+        """Members whose individual rate dwarfs the group mean on a feature.
+
+        The materiality bar is half the selection threshold: a rare event
+        (one U-turn on a long trip) dilutes under Sec. V-B's division by
+        |TP| yet is precisely what makes a member an outlier in its group.
+        """
+        materiality = 0.5 * self.stmaker.config.irregular_threshold
+        group_rate = {a.key: a.irregular_rate for a in aggregated}
+        flagged = []
+        for member in members:
+            for key, mean_rate in group_rate.items():
+                rate = member.rate(key)
+                if rate >= materiality and rate > self.outlier_factor * max(
+                    mean_rate, 1e-9
+                ):
+                    flagged.append(member.trajectory_id)
+                    break
+        return flagged
+
+    def _render(
+        self,
+        source: str,
+        destination: str,
+        count: int,
+        consensus: float,
+        selected: list[FeatureAssessment],
+        outliers: list[str],
+    ) -> str:
+        opener = (
+            f"Between the {source} and the {destination}, "
+            f"{number_word(count)} {pluralize(count, 'car')} travelled"
+        )
+        if consensus >= 0.5:
+            opener += f", mostly along the same route ({consensus:.0%})"
+        sentences = [opener + "."]
+        if selected:
+            phrases = [
+                phrase_for(a, self.stmaker.registry) for a in selected
+            ]
+            sentences.append("On average they moved " + ", and ".join(phrases) + ".")
+        else:
+            sentences.append("On average they moved as usual.")
+        if outliers:
+            n = len(outliers)
+            sentences.append(
+                f"{number_word(n).capitalize()} {pluralize(n, 'trip')} "
+                "deviated notably from the group."
+            )
+        return " ".join(sentences)

@@ -1,0 +1,166 @@
+"""Trajectory partitioning (paper Sec. IV).
+
+The chain CRF of Eq. 1–2 reduces, under MAP inference, to choosing for each
+interior landmark whether it is a partition boundary: a boundary at landmark
+``l_i`` contributes ``-Ca * l_i.s`` to the potential; keeping segments
+``TS_{i-1}`` and ``TS_i`` together contributes ``-S(TS_{i-1}, TS_i)``.
+Minimizing the total potential is the dynamic program of Eq. 4; the
+granularity-controlled variant (exactly ``k`` partitions, Algorithm 1 /
+Eq. 5) is the 2-D dynamic program below.
+
+Inputs are plain arrays so the module is trivially testable:
+
+* ``similarities[i]`` = ``S(TS_i, TS_{i+1})`` for ``i = 0 .. n-2``;
+* ``boundary_scores[i]`` = ``Ca * significance`` of the landmark shared by
+  segments ``i`` and ``i+1`` (the landmark at symbolic index ``i + 1``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.exceptions import PartitionError
+from repro.core.types import PartitionSpan
+
+
+def _validate(similarities: Sequence[float], boundary_scores: Sequence[float]) -> int:
+    if len(similarities) != len(boundary_scores):
+        raise PartitionError(
+            f"need one boundary score per junction: {len(similarities)} "
+            f"similarities vs {len(boundary_scores)} scores"
+        )
+    return len(similarities) + 1  # number of segments
+
+
+def spans_from_boundaries(n_segments: int, boundaries: Sequence[int]) -> list[PartitionSpan]:
+    """Build partition spans from sorted junction indexes.
+
+    A junction index ``i`` cuts between segments ``i`` and ``i + 1``.
+    """
+    if n_segments < 1:
+        raise PartitionError("need at least one segment")
+    cuts = sorted(set(boundaries))
+    if cuts and (cuts[0] < 0 or cuts[-1] >= n_segments - 1):
+        raise PartitionError(f"junction index out of range: {cuts}")
+    spans = []
+    start = 0
+    for cut in cuts:
+        spans.append(PartitionSpan(start, cut))
+        start = cut + 1
+    spans.append(PartitionSpan(start, n_segments - 1))
+    return spans
+
+
+def optimal_partition(
+    similarities: Sequence[float], boundary_scores: Sequence[float]
+) -> list[PartitionSpan]:
+    """The global optimum of the chain potential (Eq. 4).
+
+    On a chain the junction decisions decouple: cutting at junction ``i``
+    is optimal exactly when its boundary reward ``Ca * l.s`` exceeds the
+    similarity ``S`` of the segments it would separate.  The loop below is
+    the closed form of the Eq.-4 dynamic program (each DP state depends only
+    on its predecessor, so the per-junction minimum is the global minimum).
+    """
+    n_segments = _validate(similarities, boundary_scores)
+    cuts = [
+        i
+        for i, (s, b) in enumerate(zip(similarities, boundary_scores))
+        if b > s
+    ]
+    return spans_from_boundaries(n_segments, cuts)
+
+
+def optimal_k_partition(
+    similarities: Sequence[float],
+    boundary_scores: Sequence[float],
+    k: int,
+) -> list[PartitionSpan]:
+    """The optimal partition into exactly *k* parts (Algorithm 1 / Eq. 5).
+
+    DP state ``E[i][j]`` is the minimum potential of the first ``i + 1``
+    segments split into ``j + 1`` partitions; the transition either closes a
+    partition at junction ``i - 1`` (paying ``-Ca * l.s``) or extends the
+    current one (paying ``-S``).
+    """
+    n_segments = _validate(similarities, boundary_scores)
+    if not 1 <= k <= n_segments:
+        raise PartitionError(
+            f"k must lie in [1, {n_segments}] for {n_segments} segments, got {k}"
+        )
+    inf = float("inf")
+    # E[i][j]: best score over first i+1 segments using j+1 partitions.
+    score = [[inf] * k for _ in range(n_segments)]
+    choice: list[list[int]] = [[0] * k for _ in range(n_segments)]  # 1 = cut before i
+    score[0][0] = 0.0
+    for i in range(1, n_segments):
+        merge_base = score[i - 1]
+        for j in range(min(i + 1, k)):
+            best = inf
+            took_cut = 0
+            if merge_base[j] < inf:
+                best = merge_base[j] - similarities[i - 1]
+            if j > 0 and score[i - 1][j - 1] < inf:
+                cut = score[i - 1][j - 1] - boundary_scores[i - 1]
+                if cut < best:
+                    best = cut
+                    took_cut = 1
+            score[i][j] = best
+            choice[i][j] = took_cut
+    if score[n_segments - 1][k - 1] == inf:
+        raise PartitionError(f"no feasible partition of {n_segments} segments into {k}")
+    # Backtrack the cut junctions.
+    cuts = []
+    j = k - 1
+    for i in range(n_segments - 1, 0, -1):
+        if choice[i][j] == 1:
+            cuts.append(i - 1)
+            j -= 1
+    return spans_from_boundaries(n_segments, cuts)
+
+
+def partition_potential(
+    spans: Sequence[PartitionSpan],
+    similarities: Sequence[float],
+    boundary_scores: Sequence[float],
+) -> float:
+    """The chain potential of a given partition (lower is better).
+
+    Useful for testing: the DP solutions must minimize this quantity.
+    """
+    n_segments = _validate(similarities, boundary_scores)
+    covered = sorted(
+        itertools.chain.from_iterable(span.segment_indexes() for span in spans)
+    )
+    if covered != list(range(n_segments)):
+        raise PartitionError("spans must cover every segment exactly once")
+    cut_set = {span.end_seg for span in spans if span.end_seg < n_segments - 1}
+    total = 0.0
+    for i in range(n_segments - 1):
+        if i in cut_set:
+            total -= boundary_scores[i]
+        else:
+            total -= similarities[i]
+    return total
+
+
+def brute_force_k_partition(
+    similarities: Sequence[float],
+    boundary_scores: Sequence[float],
+    k: int,
+) -> list[PartitionSpan]:
+    """Exhaustive reference for :func:`optimal_k_partition` (tests only)."""
+    n_segments = _validate(similarities, boundary_scores)
+    if not 1 <= k <= n_segments:
+        raise PartitionError(f"invalid k={k}")
+    best_spans: list[PartitionSpan] | None = None
+    best_score = float("inf")
+    for cuts in itertools.combinations(range(n_segments - 1), k - 1):
+        spans = spans_from_boundaries(n_segments, cuts)
+        s = partition_potential(spans, similarities, boundary_scores)
+        if s < best_score:
+            best_score = s
+            best_spans = spans
+    assert best_spans is not None
+    return best_spans

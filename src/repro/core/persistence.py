@@ -1,0 +1,95 @@
+"""Persistence of trained STMaker models.
+
+Training an STMaker means calibrating a trajectory corpus into a transfer
+network and a historical feature map — work worth doing once.  This module
+bundles everything a summarizer needs (road network, scored landmarks,
+transfer network, feature map, configuration) into a single JSON file.
+
+Custom feature *definitions* carry Python callables and cannot be
+serialized; only their keys are stored, and :func:`load_stmaker` takes an
+optional registry carrying the same definitions for models trained with
+extensions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import SummarizerConfig
+from repro.core.summarizer import STMaker
+from repro.exceptions import ConfigError
+from repro.features import FeatureRegistry, default_registry
+from repro.landmarks.io import landmarks_from_dict, landmarks_to_dict
+from repro.roadnet import network_from_dict, network_to_dict
+from repro.routes import HistoricalFeatureMap, TransferNetwork
+
+_FORMAT_VERSION = 1
+
+
+def stmaker_to_dict(stmaker: STMaker) -> dict:
+    """JSON-compatible snapshot of a trained STMaker."""
+    return {
+        "version": _FORMAT_VERSION,
+        "network": network_to_dict(stmaker.network),
+        "landmarks": landmarks_to_dict(stmaker.landmarks),
+        "transfers": stmaker.transfers.to_dict(),
+        "feature_map": stmaker.feature_map.to_dict(),
+        "config": {
+            "ca": stmaker.config.ca,
+            "irregular_threshold": stmaker.config.irregular_threshold,
+            "feature_weights": stmaker.config.feature_weights,
+            "popular_route_min_support": stmaker.config.popular_route_min_support,
+        },
+        "feature_keys": stmaker.registry.keys(),
+    }
+
+
+def stmaker_from_dict(
+    data: dict, registry: FeatureRegistry | None = None
+) -> STMaker:
+    """Rebuild an STMaker from :func:`stmaker_to_dict` output.
+
+    *registry* must be provided when the model was trained with custom
+    features (their extractors are code, not data); its keys must cover
+    the stored ``feature_keys``.
+    """
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ConfigError(f"unsupported STMaker format version: {version}")
+    registry = registry or default_registry(
+        include_speed_change="speed_changes" in data["feature_keys"]
+    )
+    missing = [key for key in data["feature_keys"] if key not in registry]
+    if missing:
+        raise ConfigError(
+            f"model was trained with features {missing}; pass a registry "
+            "containing their definitions"
+        )
+    config = SummarizerConfig(
+        ca=data["config"]["ca"],
+        irregular_threshold=data["config"]["irregular_threshold"],
+        feature_weights=dict(data["config"]["feature_weights"]),
+        popular_route_min_support=data["config"]["popular_route_min_support"],
+    )
+    return STMaker(
+        network_from_dict(data["network"]),
+        landmarks_from_dict(data["landmarks"]),
+        TransferNetwork.from_dict(data["transfers"]),
+        HistoricalFeatureMap.from_dict(data["feature_map"]),
+        config=config,
+        registry=registry,
+    )
+
+
+def save_stmaker(stmaker: STMaker, path: str | Path) -> None:
+    """Write a trained STMaker to *path* as JSON."""
+    Path(path).write_text(json.dumps(stmaker_to_dict(stmaker)), encoding="utf-8")
+
+
+def load_stmaker(
+    path: str | Path, registry: FeatureRegistry | None = None
+) -> STMaker:
+    """Read a trained STMaker written by :func:`save_stmaker`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return stmaker_from_dict(data, registry=registry)

@@ -1,0 +1,51 @@
+"""Weighted cosine similarity between segment feature vectors (Eq. 3).
+
+``S(TS_i, TS_{i+1})`` is the weighted cosine of the two normalized feature
+vectors, affinely mapped from ``[-1, 1]`` to ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import FeatureError
+
+
+def weighted_cosine_similarity(
+    u: Sequence[float], v: Sequence[float], weights: Sequence[float]
+) -> float:
+    """Eq. 3 of the paper: ``0.5 * (weighted_cos(u, v) + 1)`` in ``[0, 1]``.
+
+    Conventions for degenerate vectors (all features zero under the given
+    weights): two zero vectors are identical (similarity 1); a zero vector
+    against a non-zero one is treated as uncorrelated (cosine 0, similarity
+    0.5).
+    """
+    if not (len(u) == len(v) == len(weights)):
+        raise FeatureError(
+            f"dimension mismatch: |u|={len(u)}, |v|={len(v)}, |w|={len(weights)}"
+        )
+    if any(w < 0.0 for w in weights):
+        raise FeatureError("feature weights must be non-negative")
+    dot = sum(w * a * b for w, a, b in zip(weights, u, v))
+    norm_u = math.sqrt(sum(w * a * a for w, a in zip(weights, u)))
+    norm_v = math.sqrt(sum(w * b * b for w, b in zip(weights, v)))
+    if norm_u == 0.0 and norm_v == 0.0:
+        cosine = 1.0
+    elif norm_u == 0.0 or norm_v == 0.0:
+        cosine = 0.0
+    else:
+        cosine = dot / (norm_u * norm_v)
+        cosine = max(-1.0, min(1.0, cosine))
+    return 0.5 * (cosine + 1.0)
+
+
+def segment_similarities(
+    vectors: Sequence[Sequence[float]], weights: Sequence[float]
+) -> list[float]:
+    """``S(TS_i, TS_{i+1})`` for every consecutive pair of segment vectors."""
+    return [
+        weighted_cosine_similarity(a, b, weights)
+        for a, b in zip(vectors, vectors[1:])
+    ]

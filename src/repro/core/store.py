@@ -1,0 +1,124 @@
+"""Semantic queries over summary collections — the paper's second stated
+future-work item (Sec. IX: "semantic queries on trajectory summarization").
+
+A :class:`SummaryStore` holds the structured summaries of a corpus and
+answers queries that mix three predicates:
+
+* **feature predicates** — which features were selected, with optional
+  value ranges ("trips that reported a U-turn", "speed below 25 km/h");
+* **landmark predicates** — which places the summary mentions;
+* **free text** — ranked retrieval over the summary texts (backed by the
+  Sec. VI-C inverted index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import TrajectorySummary
+from repro.exceptions import ConfigError
+from repro.textproc import InvertedIndex
+
+
+@dataclass(frozen=True, slots=True)
+class FeaturePredicate:
+    """Match summaries that selected *key*, optionally in a value range.
+
+    The range applies to the feature's observed representative value
+    (km/h for speed, counts for stays/U-turns).
+    """
+
+    key: str
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def matches(self, summary: TrajectorySummary) -> bool:
+        for partition in summary.partitions:
+            for assessment in partition.selected:
+                if assessment.key != self.key:
+                    continue
+                if self.min_value is not None and assessment.observed < self.min_value:
+                    continue
+                if self.max_value is not None and assessment.observed > self.max_value:
+                    continue
+                return True
+        return False
+
+
+class SummaryStore:
+    """An in-memory, queryable collection of trajectory summaries."""
+
+    def __init__(self) -> None:
+        self._summaries: dict[str, TrajectorySummary] = {}
+        self._text_index = InvertedIndex()
+
+    def add(self, summary: TrajectorySummary) -> None:
+        """Insert (or replace) one summary, keyed by its trajectory id."""
+        if not summary.trajectory_id:
+            raise ConfigError("summaries must carry a trajectory id to be stored")
+        self._summaries[summary.trajectory_id] = summary
+        self._text_index.add(summary.trajectory_id, summary.text)
+
+    def add_all(self, summaries) -> None:
+        """Bulk :meth:`add`."""
+        for summary in summaries:
+            self.add(summary)
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __contains__(self, trajectory_id: str) -> bool:
+        return trajectory_id in self._summaries
+
+    def get(self, trajectory_id: str) -> TrajectorySummary:
+        """Summary by trajectory id."""
+        try:
+            return self._summaries[trajectory_id]
+        except KeyError:
+            raise ConfigError(f"unknown trajectory id {trajectory_id!r}") from None
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(
+        self,
+        features: list[FeaturePredicate] | None = None,
+        mentions_landmark: str | None = None,
+        text: str | None = None,
+        limit: int | None = None,
+    ) -> list[TrajectorySummary]:
+        """Summaries satisfying *all* the given predicates.
+
+        With a *text* query the results come back in relevance order;
+        otherwise in insertion order.  ``limit`` caps the result count.
+        """
+        if limit is not None and limit < 1:
+            raise ConfigError("limit must be at least 1")
+
+        if text is not None:
+            ranked = self._text_index.search_ranked(
+                text, limit=len(self._summaries) or 1
+            )
+            ordered = [self._summaries[doc_id] for doc_id, _ in ranked]
+        else:
+            ordered = list(self._summaries.values())
+
+        out = []
+        for summary in ordered:
+            if features and not all(p.matches(summary) for p in features):
+                continue
+            if mentions_landmark is not None and (
+                mentions_landmark not in summary.mentioned_landmark_names()
+            ):
+                continue
+            out.append(summary)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def count_by_feature(self) -> dict[str, int]:
+        """How many stored summaries selected each feature at least once."""
+        counts: dict[str, int] = {}
+        for summary in self._summaries.values():
+            for key in summary.selected_feature_keys():
+                counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,226 @@
+"""STMaker: the end-to-end partition-and-summarization facade.
+
+``STMaker.train`` learns the historical knowledge (transfer network for
+popular routes, historical feature map for regular moving behaviour) from a
+training corpus of raw trajectories; ``STMaker.summarize`` then runs the
+full pipeline of Fig. 3 on a single trajectory:
+
+1. calibrate the raw trajectory into a symbolic trajectory;
+2. extract routing and moving features per segment;
+3. partition the symbolic trajectory (CRF potential + dynamic programming);
+4. select the most irregular features per partition;
+5. realize the summary text from the templates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.calibration import AnchorCalibrator, CalibrationConfig
+from repro.core.config import SummarizerConfig
+from repro.core.partition import optimal_k_partition, optimal_partition
+from repro.core.selection import FeatureSelector
+from repro.core.similarity import segment_similarities
+from repro.core.templates import partition_sentence, summary_text
+from repro.core.types import PartitionSpan, PartitionSummary, TrajectorySummary
+from repro.exceptions import CalibrationError, PartitionError
+from repro.features import (
+    FeaturePipeline,
+    FeatureRegistry,
+    SegmentFeatures,
+    default_registry,
+    normalized_vectors,
+)
+from repro.landmarks import LandmarkIndex
+from repro.roadnet import RoadNetwork
+from repro.routes import HistoricalFeatureMap, PopularRouteMiner, TransferNetwork
+from repro.trajectory import RawTrajectory, SymbolicTrajectory
+
+
+class STMaker:
+    """Summarizes raw trajectories into short descriptive texts."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        landmarks: LandmarkIndex,
+        transfers: TransferNetwork,
+        feature_map: HistoricalFeatureMap,
+        config: SummarizerConfig | None = None,
+        registry: FeatureRegistry | None = None,
+        calibrator: AnchorCalibrator | None = None,
+        pipeline: FeaturePipeline | None = None,
+    ) -> None:
+        self.network = network
+        self.landmarks = landmarks
+        self.transfers = transfers
+        self.feature_map = feature_map
+        self.config = config or SummarizerConfig()
+        self.registry = registry or default_registry()
+        self.calibrator = calibrator or AnchorCalibrator(landmarks)
+        self.pipeline = pipeline or FeaturePipeline(network, landmarks, self.registry)
+        self.popular_routes = PopularRouteMiner(
+            transfers, min_support=self.config.popular_route_min_support
+        )
+        self.selector = FeatureSelector(
+            self.registry, self.config, self.pipeline,
+            self.popular_routes, feature_map, landmarks,
+        )
+
+    # -- training -----------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        network: RoadNetwork,
+        landmarks: LandmarkIndex,
+        training: Iterable[RawTrajectory],
+        config: SummarizerConfig | None = None,
+        registry: FeatureRegistry | None = None,
+        calibrator: AnchorCalibrator | None = None,
+        calibration_config: CalibrationConfig | None = None,
+    ) -> "STMaker":
+        """Build an STMaker whose historical knowledge comes from *training*.
+
+        Every training trajectory is calibrated; its landmark transitions
+        feed the transfer network (popular routes) and its per-segment
+        moving features feed the historical feature map.  Trajectories that
+        fail calibration (too far from every landmark) are skipped — real
+        GPS corpora always contain some junk.
+        """
+        registry = registry or default_registry()
+        calibrator = calibrator or AnchorCalibrator(landmarks, calibration_config)
+
+        def calibrated() -> Iterable[tuple[RawTrajectory, SymbolicTrajectory]]:
+            for raw in training:
+                try:
+                    yield raw, calibrator.calibrate(raw)
+                except CalibrationError:
+                    continue  # junk trajectory: real corpora contain them too
+
+        return cls.train_calibrated(
+            network, landmarks, calibrated(),
+            config=config, registry=registry, calibrator=calibrator,
+        )
+
+    @classmethod
+    def train_calibrated(
+        cls,
+        network: RoadNetwork,
+        landmarks: LandmarkIndex,
+        training: Iterable[tuple[RawTrajectory, SymbolicTrajectory]],
+        config: SummarizerConfig | None = None,
+        registry: FeatureRegistry | None = None,
+        calibrator: AnchorCalibrator | None = None,
+    ) -> "STMaker":
+        """Like :meth:`train`, for trajectories already calibrated upstream."""
+        registry = registry or default_registry()
+        pipeline = FeaturePipeline(network, landmarks, registry)
+        transfers = TransferNetwork()
+        feature_map = HistoricalFeatureMap()
+        for raw, symbolic in training:
+            transfers.add_trajectory(symbolic)
+            for segment in symbolic.segments():
+                values, _ = pipeline.extract_moving(raw, segment)
+                feature_map.add_observation(
+                    segment.start_landmark, segment.end_landmark, values
+                )
+        return cls(
+            network, landmarks, transfers, feature_map,
+            config=config, registry=registry, calibrator=calibrator,
+            pipeline=pipeline,
+        )
+
+    def with_config(self, config: SummarizerConfig) -> "STMaker":
+        """A sibling STMaker sharing all trained state but using *config*.
+
+        Cheap: the historical structures are shared, not copied.  Used by
+        the parameter-sweep experiments (Fig. 10).
+        """
+        return STMaker(
+            self.network, self.landmarks, self.transfers, self.feature_map,
+            config=config, registry=self.registry, calibrator=self.calibrator,
+            pipeline=self.pipeline,
+        )
+
+    # -- summarization ---------------------------------------------------------------
+
+    def summarize(self, raw: RawTrajectory, k: int | None = None) -> TrajectorySummary:
+        """Summarize one raw trajectory.
+
+        With ``k=None`` the CRF-optimal partition is used (Sec. IV-C);
+        otherwise the trajectory is split into exactly ``k`` partitions
+        (Sec. IV-D).  A requested ``k`` larger than the number of segments
+        is clamped — the finest possible granularity is one partition per
+        segment.
+        """
+        symbolic = self.calibrator.calibrate(raw)
+        return self.summarize_calibrated(raw, symbolic, k=k)
+
+    def summarize_calibrated(
+        self,
+        raw: RawTrajectory,
+        symbolic: SymbolicTrajectory,
+        k: int | None = None,
+    ) -> TrajectorySummary:
+        """Summarize a trajectory whose calibration is already available."""
+        segment_features = self.pipeline.extract(raw, symbolic)
+        spans = self.partition(symbolic, segment_features, k=k)
+        partitions = []
+        for i, span in enumerate(spans):
+            partitions.append(
+                self._summarize_partition(symbolic, segment_features, span, i == 0)
+            )
+        return TrajectorySummary(
+            raw.trajectory_id, summary_text(partitions), partitions
+        )
+
+    def partition(
+        self,
+        symbolic: SymbolicTrajectory,
+        segment_features: list[SegmentFeatures],
+        k: int | None = None,
+    ) -> list[PartitionSpan]:
+        """The partition step alone (useful for analysis and tests)."""
+        n_segments = len(segment_features)
+        if n_segments != symbolic.segment_count:
+            raise PartitionError(
+                f"{n_segments} feature rows for {symbolic.segment_count} segments"
+            )
+        if n_segments == 1:
+            return [PartitionSpan(0, 0)]
+        vectors = normalized_vectors(segment_features, self.registry)
+        weights = [self.config.weight(key) for key in self.registry.keys()]
+        similarities = segment_similarities(vectors.tolist(), weights)
+        boundary_scores = [
+            self.config.ca * self.landmarks.get(symbolic[i + 1].landmark).significance
+            for i in range(n_segments - 1)
+        ]
+        if k is None:
+            return optimal_partition(similarities, boundary_scores)
+        k = max(1, min(k, n_segments))
+        return optimal_k_partition(similarities, boundary_scores, k)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _summarize_partition(
+        self,
+        symbolic: SymbolicTrajectory,
+        segment_features: list[SegmentFeatures],
+        span: PartitionSpan,
+        is_first: bool,
+    ) -> PartitionSummary:
+        assessment = self.selector.assess(symbolic, segment_features, span)
+        source = self.landmarks.get(
+            symbolic[span.start_landmark_index].landmark
+        ).name
+        destination = self.landmarks.get(
+            symbolic[span.end_landmark_index].landmark
+        ).name
+        sentence = partition_sentence(
+            source, destination, assessment.selected, self.registry, is_first
+        )
+        return PartitionSummary(
+            span, source, destination,
+            assessment.assessments, assessment.selected, sentence,
+        )

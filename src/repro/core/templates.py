@@ -1,0 +1,186 @@
+"""Text realization: phrase templates (Table V) and sentence templates
+(Table VI).
+
+Each selected feature expands into a phrase through its template;
+categorical values are rendered with their semantic names ("highway", not
+"1"), numeric values with intuitive comparative descriptors
+(faster/slower, wider/narrower) against the regular value, exactly as the
+paper prescribes in Sec. VI-A.  Feature-extraction by-products (stay-point
+durations, U-turn places) enrich the phrases.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import FeatureAssessment, PartitionSummary
+from repro.exceptions import SummarizationError
+from repro.features import (
+    GRADE_OF_ROAD,
+    ROAD_WIDTH,
+    SPEED,
+    SPEED_CHANGES,
+    STAY_POINTS,
+    TRAFFIC_DIRECTION,
+    U_TURNS,
+    FeatureRegistry,
+)
+from repro.roadnet import RoadGrade, TrafficDirection
+
+_NUMBER_WORDS = (
+    "zero", "one", "two", "three", "four", "five", "six",
+    "seven", "eight", "nine", "ten", "eleven", "twelve",
+)
+
+
+def number_word(n: int) -> str:
+    """Small counts as words ("two"), large ones as digits ("17")."""
+    if 0 <= n < len(_NUMBER_WORDS):
+        return _NUMBER_WORDS[n]
+    return str(n)
+
+
+def pluralize(n: int, singular: str, plural: str | None = None) -> str:
+    """``1 stay point`` / ``2 stay points``."""
+    if n == 1:
+        return singular
+    return plural if plural is not None else singular + "s"
+
+
+def _grade_phrase(a: FeatureAssessment) -> str:
+    observed = a.extras.get("observed_grade", RoadGrade(int(round(a.observed))))
+    name = a.extras.get("observed_road_name")
+    given = observed.display_name + (f" ({name})" if name else "")
+    regular = a.extras.get("regular_grade")
+    if regular is not None and regular != observed:
+        return (
+            f"through {given} while most drivers choose {regular.display_name}"
+        )
+    return f"through {given} while most drivers choose a different road"
+
+
+def _width_phrase(a: FeatureAssessment) -> str:
+    comparative = "wider" if a.observed < a.regular else "narrower"
+    return (
+        f"through {a.observed:.0f} metres wide roads while most drivers "
+        f"prefer {comparative} roads"
+    )
+
+
+def _direction_phrase(a: FeatureAssessment) -> str:
+    observed = TrafficDirection(int(round(a.observed)))
+    regular = TrafficDirection(int(round(a.regular))) if a.regular else None
+    if regular is not None and regular != observed:
+        return (
+            f"through a {observed.display_name} while most drivers prefer "
+            f"a {regular.display_name}"
+        )
+    return f"through a {observed.display_name}"
+
+
+def _speed_phrase(a: FeatureAssessment) -> str:
+    delta = a.observed - a.regular
+    comparative = "faster" if delta > 0 else "slower"
+    return (
+        f"with the speed of {a.observed:.0f} km/h which was "
+        f"{abs(delta):.0f} km/h {comparative} than usual"
+    )
+
+
+def _stay_phrase(a: FeatureAssessment) -> str:
+    count = int(round(a.observed))
+    phrase = f"with {number_word(count)} {pluralize(count, 'staying point')}"
+    total = a.extras.get("stay_total_s")
+    if total:
+        phrase += f" (in total for about {total:.0f} seconds)"
+    return phrase
+
+
+def _u_turn_phrase(a: FeatureAssessment) -> str:
+    count = int(round(a.observed))
+    phrase = f"with conducting {number_word(count)} {pluralize(count, 'U-turn')}"
+    places = a.extras.get("u_turn_places")
+    if places:
+        unique = list(dict.fromkeys(places))
+        phrase += " at " + _join_names(unique)
+    return phrase
+
+
+def _speed_change_phrase(a: FeatureAssessment) -> str:
+    count = int(round(a.observed))
+    return (
+        f"with {number_word(count)} sharp speed "
+        f"{pluralize(count, 'change')}"
+    )
+
+
+_BUILTIN_PHRASES = {
+    GRADE_OF_ROAD: _grade_phrase,
+    ROAD_WIDTH: _width_phrase,
+    TRAFFIC_DIRECTION: _direction_phrase,
+    SPEED: _speed_phrase,
+    STAY_POINTS: _stay_phrase,
+    U_TURNS: _u_turn_phrase,
+    SPEED_CHANGES: _speed_change_phrase,
+}
+
+
+def phrase_for(assessment: FeatureAssessment, registry: FeatureRegistry) -> str:
+    """Expand one selected feature into its summary phrase."""
+    builtin = _BUILTIN_PHRASES.get(assessment.key)
+    if builtin is not None:
+        return builtin(assessment)
+    definition = registry.get(assessment.key)
+    if definition.phrase is not None:
+        return definition.phrase(assessment)
+    # Generic fallback for extension features without a custom template.
+    return (
+        f"with {definition.short_label} of {assessment.observed:.1f} "
+        f"(usually {assessment.regular:.1f})"
+    )
+
+
+def _join_names(names: list[str]) -> str:
+    if not names:
+        raise SummarizationError("cannot join an empty name list")
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+def _join_phrases(phrases: list[str]) -> str:
+    if len(phrases) == 1:
+        return phrases[0]
+    return ", ".join(phrases[:-1]) + ", and " + phrases[-1]
+
+
+def partition_sentence(
+    source_name: str,
+    destination_name: str,
+    selected: list[FeatureAssessment],
+    registry: FeatureRegistry,
+    is_first: bool,
+) -> str:
+    """One sentence of the summary (Table VI).
+
+    First partition: "The car started from the A to the B ...";
+    later partitions: "Then it moved from the B to the C ...";
+    a partition with no selected feature ends in "smoothly".
+    """
+    opener = (
+        f"The car started from the {source_name} to the {destination_name}"
+        if is_first
+        else f"Then it moved from the {source_name} to the {destination_name}"
+    )
+    if not selected:
+        return f"{opener} smoothly."
+    # Route phrases ("through ...") read best immediately after the opener.
+    through = [a for a in selected if phrase_for(a, registry).startswith("through")]
+    others = [a for a in selected if a not in through]
+    parts = [phrase_for(a, registry) for a in through + others]
+    return f"{opener} {_join_phrases(parts)}."
+
+
+def summary_text(partitions: list[PartitionSummary]) -> str:
+    """Concatenate the partition sentences into the final summary."""
+    if not partitions:
+        raise SummarizationError("a summary needs at least one partition")
+    return " ".join(p.sentence for p in partitions)

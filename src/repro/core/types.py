@@ -1,0 +1,101 @@
+"""Core result types: partitions, feature assessments, summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PartitionError
+from repro.features.base import FeatureKind
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSpan:
+    """One trajectory partition: an inclusive range of segment indexes.
+
+    A span covering segments ``start_seg .. end_seg`` runs from symbolic
+    landmark index ``start_seg`` to landmark index ``end_seg + 1``.
+    """
+
+    start_seg: int
+    end_seg: int
+
+    def __post_init__(self) -> None:
+        if self.start_seg < 0 or self.end_seg < self.start_seg:
+            raise PartitionError(
+                f"invalid span: segments {self.start_seg}..{self.end_seg}"
+            )
+
+    @property
+    def segment_count(self) -> int:
+        return self.end_seg - self.start_seg + 1
+
+    @property
+    def start_landmark_index(self) -> int:
+        """Index of the span's source landmark in the symbolic trajectory."""
+        return self.start_seg
+
+    @property
+    def end_landmark_index(self) -> int:
+        """Index of the span's destination landmark in the symbolic trajectory."""
+        return self.end_seg + 1
+
+    def segment_indexes(self) -> range:
+        return range(self.start_seg, self.end_seg + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureAssessment:
+    """One feature's observed-vs-regular comparison on one partition."""
+
+    key: str
+    kind: FeatureKind
+    #: Representative observed value (e.g. mean speed, total stay count).
+    observed: float
+    #: Regular/expected value from history (popular route or feature map).
+    regular: float
+    #: Irregular rate Γ_f(TP); the selection criterion.
+    irregular_rate: float
+    #: Extraction by-products the templates may embed (names, places, ...).
+    extras: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSummary:
+    """The summary of one trajectory partition."""
+
+    span: PartitionSpan
+    source_name: str
+    destination_name: str
+    assessments: list[FeatureAssessment]
+    selected: list[FeatureAssessment]
+    sentence: str
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectorySummary:
+    """The full summary of a trajectory: text plus per-partition detail."""
+
+    trajectory_id: str
+    text: str
+    partitions: list[PartitionSummary]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    def selected_feature_keys(self) -> set[str]:
+        """Keys of every feature mentioned anywhere in the summary."""
+        return {
+            assessment.key
+            for partition in self.partitions
+            for assessment in partition.selected
+        }
+
+    def mentioned_landmark_names(self) -> list[str]:
+        """Source/destination landmark names in reading order."""
+        names = []
+        for partition in self.partitions:
+            if not names or names[-1] != partition.source_name:
+                names.append(partition.source_name)
+            names.append(partition.destination_name)
+        return names

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the pipeline with a single ``except`` clause
+while still being able to discriminate the individual stages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric input (empty polylines, bad coordinates)."""
+
+
+class RoadNetworkError(ReproError):
+    """Raised for inconsistent road-network operations (unknown nodes, ...)."""
+
+
+class NoPathError(RoadNetworkError):
+    """Raised when no path exists between two road-network nodes."""
+
+
+class TrajectoryError(ReproError):
+    """Raised for malformed trajectories (too short, unsorted timestamps)."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a raw trajectory cannot be calibrated to landmarks."""
+
+
+class MapMatchError(ReproError):
+    """Raised when map matching cannot produce a road sequence."""
+
+
+class FeatureError(ReproError):
+    """Raised for unknown features or invalid feature definitions."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partition requests (e.g. k larger than #segments)."""
+
+
+class SummarizationError(ReproError):
+    """Raised when the summarizer cannot produce a summary."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

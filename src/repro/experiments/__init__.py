@@ -1,0 +1,53 @@
+"""Experiment harness: FF metric, per-figure runners, simulated user study."""
+
+from repro.experiments.ff import feature_frequency, landmark_usage
+from repro.experiments.userstudy import (
+    GradedSummary,
+    ReaderConfig,
+    grade_summary,
+    level_histogram,
+    run_user_study,
+)
+from repro.experiments.runners import (
+    CaseStudyResult,
+    EfficiencyResult,
+    LandmarkUsageResult,
+    PartitionSizeSweepResult,
+    TimeOfDayResult,
+    UserStudyResult,
+    WeightSweepResult,
+    run_case_study,
+    run_efficiency,
+    run_feature_weight_sweep,
+    run_landmark_usage,
+    run_partition_size_sweep,
+    run_time_of_day,
+    run_user_study_experiment,
+)
+from repro.experiments.reporting import format_ff_table, format_table
+
+__all__ = [
+    "feature_frequency",
+    "landmark_usage",
+    "ReaderConfig",
+    "GradedSummary",
+    "grade_summary",
+    "run_user_study",
+    "level_histogram",
+    "CaseStudyResult",
+    "run_case_study",
+    "TimeOfDayResult",
+    "run_time_of_day",
+    "LandmarkUsageResult",
+    "run_landmark_usage",
+    "WeightSweepResult",
+    "run_feature_weight_sweep",
+    "PartitionSizeSweepResult",
+    "run_partition_size_sweep",
+    "UserStudyResult",
+    "run_user_study_experiment",
+    "EfficiencyResult",
+    "run_efficiency",
+    "format_table",
+    "format_ff_table",
+]

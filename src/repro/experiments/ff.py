@@ -1,0 +1,36 @@
+"""Feature frequency (FF), the paper's central evaluation metric.
+
+``FF_f = (# summaries containing f) / (# total summaries)`` — the fraction
+of the summary dataset in which feature *f* was selected at least once
+(Sec. VII-C.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.types import TrajectorySummary
+from repro.exceptions import ConfigError
+
+
+def feature_frequency(
+    summaries: Sequence[TrajectorySummary], keys: Iterable[str]
+) -> dict[str, float]:
+    """FF of each feature key over *summaries*."""
+    summaries = list(summaries)
+    if not summaries:
+        raise ConfigError("feature frequency needs at least one summary")
+    out = {}
+    for key in keys:
+        hits = sum(1 for s in summaries if key in s.selected_feature_keys())
+        out[key] = hits / len(summaries)
+    return out
+
+
+def landmark_usage(summaries: Sequence[TrajectorySummary]) -> dict[str, int]:
+    """How often each landmark name is mentioned across *summaries*."""
+    counts: dict[str, int] = {}
+    for summary in summaries:
+        for name in summary.mentioned_landmark_names():
+            counts[name] = counts.get(name, 0) + 1
+    return counts

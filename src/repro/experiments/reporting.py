@@ -1,0 +1,54 @@
+"""ASCII tables for the experiment results — the benches print these."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table; floats rendered at 3 decimals."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ff_table(
+    row_labels: Sequence[str],
+    ff_rows: Sequence[dict[str, float]],
+    feature_keys: Sequence[str],
+    label_header: str,
+    title: str = "",
+) -> str:
+    """Feature-frequency table: one row per label, one column per feature."""
+    short = {
+        "grade_of_road": "GR",
+        "road_width": "RW",
+        "traffic_direction": "TD",
+        "speed": "Spe",
+        "stay_points": "Stay",
+        "u_turns": "U-turn",
+        "speed_changes": "SpeC",
+    }
+    headers = [label_header] + [short.get(k, k) for k in feature_keys]
+    rows = [
+        [label] + [ff[k] for k in feature_keys]
+        for label, ff in zip(row_labels, ff_rows)
+    ]
+    return format_table(headers, rows, title)

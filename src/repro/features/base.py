@@ -1,0 +1,168 @@
+"""Feature vocabulary and registry (paper Sec. III and Sec. VI-B).
+
+A :class:`FeatureDefinition` declares what a feature is — routing or
+moving, numeric or categorical, its default weight — while extraction lives
+in :mod:`repro.features.routing` / :mod:`repro.features.moving` and phrase
+generation in :mod:`repro.core.templates`.  The registry is ordered; the
+order defines the layout of the per-segment feature vectors used by the
+partitioner (Eq. 3).
+
+The six paper features are registered by default under the keys listed in
+Sec. VII-B (GR, RW, TD, Spe, Stay, U-turn); the extension feature SpeC
+(sharp speed changes, Fig. 10(b)) is available via
+``default_registry(include_speed_change=True)``.  New user-defined features
+follow the three-step recipe of Sec. VI-B via :meth:`FeatureRegistry.register`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.exceptions import FeatureError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.features.extraction import ExtractionContext
+    from repro.features.routing import RoutingFeatures
+
+
+class FeatureKind(Enum):
+    """Routing features describe *where*; moving features describe *how*."""
+
+    ROUTING = "routing"
+    MOVING = "moving"
+
+
+class FeatureDtype(Enum):
+    """Numeric features compare by difference; categorical by (in)equality."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+# Canonical keys of the paper's features.
+GRADE_OF_ROAD = "grade_of_road"
+ROAD_WIDTH = "road_width"
+TRAFFIC_DIRECTION = "traffic_direction"
+SPEED = "speed"
+STAY_POINTS = "stay_points"
+U_TURNS = "u_turns"
+SPEED_CHANGES = "speed_changes"  # the SpeC extension feature of Fig. 10(b)
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureDefinition:
+    """Declaration of one trajectory feature.
+
+    User-defined features (the Sec. VI-B extension recipe) supply the three
+    optional callables:
+
+    * ``extractor`` — value of the feature on one observed segment;
+    * ``hop_value`` — regular value of a *routing* feature on a hypothetical
+      landmark hop (its reading off the digital map); moving features get
+      their regular values from the historical feature map automatically;
+    * ``phrase`` — template function turning a
+      :class:`repro.core.types.FeatureAssessment` into summary text.
+    """
+
+    key: str
+    short_label: str
+    kind: FeatureKind
+    dtype: FeatureDtype
+    default_weight: float = 1.0
+    description: str = ""
+    extractor: Callable[["ExtractionContext"], float] | None = None
+    hop_value: Callable[["RoutingFeatures"], float] | None = None
+    phrase: Callable[[object], str] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise FeatureError("feature key must be non-empty")
+        if self.default_weight < 0.0:
+            raise FeatureError(f"feature weight must be non-negative: {self.key}")
+
+
+class FeatureRegistry:
+    """Ordered collection of feature definitions."""
+
+    def __init__(self, definitions: list[FeatureDefinition] | None = None) -> None:
+        self._defs: dict[str, FeatureDefinition] = {}
+        for definition in definitions or []:
+            self.register(definition)
+
+    def register(self, definition: FeatureDefinition) -> None:
+        """Add a feature; duplicate keys are rejected."""
+        if definition.key in self._defs:
+            raise FeatureError(f"feature {definition.key!r} already registered")
+        self._defs[definition.key] = definition
+
+    def get(self, key: str) -> FeatureDefinition:
+        """Definition by key; raises :class:`FeatureError` if unknown."""
+        try:
+            return self._defs[key]
+        except KeyError:
+            raise FeatureError(f"unknown feature {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._defs
+
+    def __iter__(self) -> Iterator[FeatureDefinition]:
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def keys(self) -> list[str]:
+        """Feature keys in registration order."""
+        return list(self._defs)
+
+    def routing_keys(self) -> list[str]:
+        """Keys of routing features, in order."""
+        return [d.key for d in self if d.kind is FeatureKind.ROUTING]
+
+    def moving_keys(self) -> list[str]:
+        """Keys of moving features, in order."""
+        return [d.key for d in self if d.kind is FeatureKind.MOVING]
+
+    def default_weights(self) -> dict[str, float]:
+        """Feature-key → default-weight mapping."""
+        return {d.key: d.default_weight for d in self}
+
+
+def default_registry(include_speed_change: bool = False) -> FeatureRegistry:
+    """The paper's six features, optionally plus the SpeC extension."""
+    defs = [
+        FeatureDefinition(
+            GRADE_OF_ROAD, "GR", FeatureKind.ROUTING, FeatureDtype.CATEGORICAL,
+            description="road grade 1 (highway) .. 7 (feeder road)",
+        ),
+        FeatureDefinition(
+            ROAD_WIDTH, "RW", FeatureKind.ROUTING, FeatureDtype.NUMERIC,
+            description="carriageway width in metres",
+        ),
+        FeatureDefinition(
+            TRAFFIC_DIRECTION, "TD", FeatureKind.ROUTING, FeatureDtype.CATEGORICAL,
+            description="1 = two-way road, 2 = one-way road",
+        ),
+        FeatureDefinition(
+            SPEED, "Spe", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+            description="average speed in km/h",
+        ),
+        FeatureDefinition(
+            STAY_POINTS, "Stay", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+            description="number of stay points",
+        ),
+        FeatureDefinition(
+            U_TURNS, "U-turn", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+            description="number of U-turns",
+        ),
+    ]
+    if include_speed_change:
+        defs.append(
+            FeatureDefinition(
+                SPEED_CHANGES, "SpeC", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+                description="number of sharp speed changes",
+            )
+        )
+    return FeatureRegistry(defs)

@@ -1,0 +1,65 @@
+"""Per-segment feature vectors and normalization (paper Sec. IV-B).
+
+Before the partitioner compares segments, every feature is normalized to
+``[0, 1]`` by the largest value of that feature across the segments of the
+trajectory; the normalized values form a ``|F|``-dimensional vector per
+segment, laid out in registry order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+from repro.features.base import FeatureRegistry
+from repro.features.extraction import SegmentFeatures
+
+
+def feature_matrix(
+    segments: list[SegmentFeatures], registry: FeatureRegistry
+) -> np.ndarray:
+    """Raw feature values as an ``(n_segments, n_features)`` array."""
+    if not segments:
+        raise FeatureError("cannot build a feature matrix from zero segments")
+    keys = registry.keys()
+    rows = []
+    for seg in segments:
+        try:
+            rows.append([seg.values[key] for key in keys])
+        except KeyError as exc:
+            raise FeatureError(f"segment missing feature {exc}") from exc
+    return np.asarray(rows, dtype=float)
+
+
+def normalize_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Normalize each column by its maximum absolute value.
+
+    Columns that are entirely zero stay zero (the feature is constant and
+    carries no contrast on this trajectory).
+    """
+    if matrix.ndim != 2:
+        raise FeatureError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    scale = np.abs(matrix).max(axis=0)
+    safe = np.where(scale == 0.0, 1.0, scale)
+    return matrix / safe
+
+
+def normalized_vectors(
+    segments: list[SegmentFeatures], registry: FeatureRegistry
+) -> np.ndarray:
+    """Normalized per-segment feature vectors, registry order."""
+    return normalize_matrix(feature_matrix(segments, registry))
+
+
+def normalize_sequence(values: list[float]) -> list[float]:
+    """Normalize a feature-value sequence by its maximum absolute value.
+
+    This is the ``norm(.)`` of Sec. V-A applied to a partition's feature
+    sequence; an all-zero sequence is returned unchanged.
+    """
+    if not values:
+        return []
+    scale = max(abs(v) for v in values)
+    if scale == 0.0:
+        return list(values)
+    return [v / scale for v in values]

@@ -1,0 +1,69 @@
+"""Axis-aligned geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import GeometryError
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A latitude/longitude axis-aligned rectangle."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat > self.max_lat or self.min_lon > self.max_lon:
+            raise GeometryError(
+                f"degenerate bounding box: ({self.min_lat}, {self.min_lon}) "
+                f"> ({self.max_lat}, {self.max_lon})"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[GeoPoint]) -> "BoundingBox":
+        """Smallest box containing every point; raises on an empty iterable."""
+        pts = list(points)
+        if not pts:
+            raise GeometryError("cannot build a bounding box from zero points")
+        lats = [p.lat for p in pts]
+        lons = [p.lon for p in pts]
+        return cls(min(lats), min(lons), max(lats), max(lons))
+
+    @property
+    def center(self) -> GeoPoint:
+        """Geometric centre of the box."""
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether *point* lies inside the box (boundary inclusive)."""
+        return (
+            self.min_lat <= point.lat <= self.max_lat
+            and self.min_lon <= point.lon <= self.max_lon
+        )
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """A copy grown by *margin_deg* on every side."""
+        return BoundingBox(
+            self.min_lat - margin_deg,
+            self.min_lon - margin_deg,
+            self.max_lat + margin_deg,
+            self.max_lon + margin_deg,
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes share any area (boundary inclusive)."""
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )

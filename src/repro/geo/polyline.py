@@ -1,0 +1,105 @@
+"""Polyline utilities: lengths, interpolation, resampling, projection."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import GeometryError
+from repro.geo.distance import LocalProjector, point_segment_distance_m
+from repro.geo.point import GeoPoint
+
+
+def polyline_length_m(points: Sequence[GeoPoint], projector: LocalProjector) -> float:
+    """Total length of the polyline through *points*, in metres."""
+    if len(points) < 2:
+        return 0.0
+    return sum(projector.distance_m(a, b) for a, b in zip(points, points[1:]))
+
+
+def cumulative_lengths_m(
+    points: Sequence[GeoPoint], projector: LocalProjector
+) -> list[float]:
+    """Running distance from the first point to each point (first entry is 0)."""
+    if not points:
+        return []
+    total = 0.0
+    out = [0.0]
+    for a, b in zip(points, points[1:]):
+        total += projector.distance_m(a, b)
+        out.append(total)
+    return out
+
+
+def interpolate_along(
+    points: Sequence[GeoPoint], distance_m: float, projector: LocalProjector
+) -> GeoPoint:
+    """Point located *distance_m* metres along the polyline.
+
+    Distances are clamped to the polyline extent, so a negative distance
+    returns the first point and an overshoot returns the last.
+    """
+    if not points:
+        raise GeometryError("cannot interpolate along an empty polyline")
+    if len(points) == 1 or distance_m <= 0.0:
+        return points[0]
+    remaining = distance_m
+    for a, b in zip(points, points[1:]):
+        seg = projector.distance_m(a, b)
+        if remaining <= seg and seg > 0.0:
+            t = remaining / seg
+            ax, ay = projector.to_xy(a)
+            bx, by = projector.to_xy(b)
+            return projector.to_point(ax + t * (bx - ax), ay + t * (by - ay))
+        remaining -= seg
+    return points[-1]
+
+
+def resample_polyline(
+    points: Sequence[GeoPoint], spacing_m: float, projector: LocalProjector
+) -> list[GeoPoint]:
+    """Resample the polyline at regular *spacing_m* intervals.
+
+    The first and last vertices are always retained.
+    """
+    if spacing_m <= 0.0:
+        raise GeometryError(f"spacing must be positive, got {spacing_m}")
+    if len(points) < 2:
+        return list(points)
+    total = polyline_length_m(points, projector)
+    if total == 0.0:
+        return [points[0], points[-1]]
+    out = [points[0]]
+    d = spacing_m
+    # The small epsilon avoids emitting an interpolated point that coincides
+    # with the final vertex when the total length is a multiple of spacing.
+    while d < total - 1e-6:
+        out.append(interpolate_along(points, d, projector))
+        d += spacing_m
+    out.append(points[-1])
+    return out
+
+
+def nearest_point_on_polyline(
+    point: GeoPoint, points: Sequence[GeoPoint], projector: LocalProjector
+) -> tuple[float, float]:
+    """Project *point* onto the polyline.
+
+    Returns ``(distance_m, offset_m)`` — the perpendicular distance to the
+    closest location on the polyline, and the along-polyline offset of that
+    location from the first vertex.
+    """
+    if not points:
+        raise GeometryError("cannot project onto an empty polyline")
+    if len(points) == 1:
+        return (projector.distance_m(point, points[0]), 0.0)
+    best_dist = float("inf")
+    best_offset = 0.0
+    walked = 0.0
+    for a, b in zip(points, points[1:]):
+        seg_len = projector.distance_m(a, b)
+        dist, frac = point_segment_distance_m(point, a, b, projector)
+        if dist < best_dist:
+            best_dist = dist
+            best_offset = walked + frac * seg_len
+        walked += seg_len
+    return (best_dist, best_offset)

@@ -1,0 +1,50 @@
+"""Landmark substrate: POIs, DBSCAN, turning points, HITS significance."""
+
+from repro.landmarks.model import Landmark, LandmarkId, LandmarkIndex, LandmarkKind
+from repro.landmarks.poi import POI, POICategory, POIConfig, generate_pois
+from repro.landmarks.dbscan import NOISE, DBSCANResult, cluster_centroids, dbscan
+from repro.landmarks.extraction import (
+    LandmarkConfig,
+    build_landmarks,
+    extract_turning_points,
+    noise_ratio,
+)
+from repro.landmarks.io import (
+    landmarks_from_dict,
+    landmarks_to_dict,
+    load_landmarks,
+    save_landmarks,
+)
+from repro.landmarks.significance import (
+    HITSResult,
+    Visit,
+    assign_significance,
+    hits_significance,
+)
+
+__all__ = [
+    "Landmark",
+    "LandmarkId",
+    "LandmarkIndex",
+    "LandmarkKind",
+    "POI",
+    "POICategory",
+    "POIConfig",
+    "generate_pois",
+    "NOISE",
+    "DBSCANResult",
+    "dbscan",
+    "cluster_centroids",
+    "LandmarkConfig",
+    "build_landmarks",
+    "extract_turning_points",
+    "noise_ratio",
+    "landmarks_to_dict",
+    "landmarks_from_dict",
+    "save_landmarks",
+    "load_landmarks",
+    "Visit",
+    "HITSResult",
+    "hits_significance",
+    "assign_significance",
+]

@@ -1,0 +1,109 @@
+"""Density-based clustering (DBSCAN), implemented from scratch.
+
+The paper clusters ~510k raw POIs into ~17k clusters with DBSCAN
+(Ester et al., KDD'96) and uses the cluster centroids as landmarks.  This
+implementation follows the original algorithm with region queries served by
+the library's grid index, giving near-linear behaviour on city-scale data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigError
+from repro.geo import GeoPoint, GridIndex, LocalProjector
+
+NOISE = -1
+_UNVISITED = -2
+
+
+@dataclass(frozen=True, slots=True)
+class DBSCANResult:
+    """Labels per input point (``NOISE`` = -1) and the number of clusters."""
+
+    labels: list[int]
+    cluster_count: int
+
+    def members(self, cluster: int) -> list[int]:
+        """Indexes of the points assigned to *cluster*."""
+        return [i for i, label in enumerate(self.labels) if label == cluster]
+
+
+def dbscan(
+    points: Sequence[GeoPoint],
+    eps_m: float,
+    min_pts: int,
+    projector: LocalProjector,
+) -> DBSCANResult:
+    """Cluster *points* with DBSCAN(eps_m, min_pts).
+
+    A point is a *core* point if at least *min_pts* points (itself included)
+    lie within *eps_m*.  Clusters are the transitive closure of core points
+    over the eps-neighbourhood relation; border points join the cluster of
+    the first core point that reaches them; the rest are labelled ``NOISE``.
+    """
+    if eps_m <= 0.0:
+        raise ConfigError(f"eps must be positive, got {eps_m}")
+    if min_pts < 1:
+        raise ConfigError(f"min_pts must be at least 1, got {min_pts}")
+
+    n = len(points)
+    labels = [_UNVISITED] * n
+    if n == 0:
+        return DBSCANResult([], 0)
+
+    grid: GridIndex[int] = GridIndex(projector, cell_size_m=max(eps_m, 1.0))
+    grid.extend((p, i) for i, p in enumerate(points))
+
+    def region(i: int) -> list[int]:
+        return [j for _, j in grid.query_radius(points[i], eps_m)]
+
+    cluster = 0
+    for i in range(n):
+        if labels[i] != _UNVISITED:
+            continue
+        neighbors = region(i)
+        if len(neighbors) < min_pts:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster
+        # Seed set expansion: classic DBSCAN frontier walk.
+        frontier = [j for j in neighbors if j != i]
+        k = 0
+        while k < len(frontier):
+            j = frontier[k]
+            k += 1
+            if labels[j] == NOISE:
+                labels[j] = cluster  # border point reached from a core point
+            if labels[j] != _UNVISITED:
+                continue
+            labels[j] = cluster
+            j_neighbors = region(j)
+            if len(j_neighbors) >= min_pts:
+                frontier.extend(
+                    m for m in j_neighbors if labels[m] in (_UNVISITED, NOISE)
+                )
+        cluster += 1
+    return DBSCANResult(labels, cluster)
+
+
+def cluster_centroids(
+    points: Sequence[GeoPoint],
+    result: DBSCANResult,
+    projector: LocalProjector,
+) -> list[GeoPoint]:
+    """Geometric centre of every cluster, indexed by cluster label."""
+    sums: list[tuple[float, float, int]] = [(0.0, 0.0, 0)] * result.cluster_count
+    for point, label in zip(points, result.labels):
+        if label == NOISE:
+            continue
+        x, y = projector.to_xy(point)
+        sx, sy, count = sums[label]
+        sums[label] = (sx + x, sy + y, count + 1)
+    centroids = []
+    for sx, sy, count in sums:
+        if count == 0:
+            raise ConfigError("empty cluster in DBSCAN result")
+        centroids.append(projector.to_point(sx / count, sy / count))
+    return centroids

@@ -1,0 +1,125 @@
+"""Landmark dataset construction (paper Sec. VII-A).
+
+The landmark dataset has two parts: *turning points* extracted from the
+road network (intersections and sharp geometry bends) and the centroids of
+DBSCAN clusters over the raw POI dataset.  Turning points are named after
+the roads that meet there; a POI-cluster landmark inherits the name of its
+most attractive member POI — this is what makes summaries read
+"from the Daoxiang Community to the Haidian Hospital".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+from repro.geo import heading_change_deg
+from repro.landmarks.dbscan import NOISE, cluster_centroids, dbscan
+from repro.landmarks.model import Landmark, LandmarkIndex, LandmarkKind
+from repro.landmarks.poi import POI
+from repro.roadnet import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class LandmarkConfig:
+    """Parameters of landmark extraction."""
+
+    bend_threshold_deg: float = 30.0
+    dbscan_eps_m: float = 120.0
+    dbscan_min_pts: int = 5
+    #: POI-cluster landmarks closer than this to an existing turning point
+    #: are merged into it: the merged landmark keeps the turning point's
+    #: position (on the road network, so trips can anchor to it) but takes
+    #: the POI's name and kind (so check-ins, trip demand, and summaries
+    #: all refer to the same identity — "Haidian Hospital").
+    merge_radius_m: float = 160.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bend_threshold_deg <= 180.0:
+            raise ConfigError("bend threshold must lie in (0, 180]")
+        if self.merge_radius_m < 0.0:
+            raise ConfigError("merge radius must be non-negative")
+
+
+def extract_turning_points(
+    network: RoadNetwork, bend_threshold_deg: float = 30.0
+) -> list[tuple[int, str]]:
+    """Road-network nodes that qualify as turning points.
+
+    A node qualifies when it is a decision point (degree ≥ 3), a dead end
+    (degree 1), or a degree-2 geometry bend sharper than
+    *bend_threshold_deg*.  Returns ``(node_id, name)`` pairs; the name joins
+    the distinct road names meeting at the node.
+    """
+    out: list[tuple[int, str]] = []
+    for node in network.nodes():
+        edges = network.incident_edges(node.node_id)
+        degree = len(edges)
+        qualifies = degree >= 3 or degree == 1
+        if degree == 2:
+            b0 = network.edge_bearing_deg(edges[0], node.node_id)
+            b1 = network.edge_bearing_deg(edges[1], node.node_id)
+            # Through-travel heading change: entering along edge 0 and leaving
+            # along edge 1 turns by 180 - angle between the outgoing bearings.
+            qualifies = 180.0 - heading_change_deg(b0, b1) >= bend_threshold_deg
+        if not qualifies:
+            continue
+        names = sorted({e.name for e in edges})
+        if len(names) == 1:
+            label = names[0]
+        else:
+            label = " & ".join(names[:2])
+        out.append((node.node_id, label))
+    return out
+
+
+def build_landmarks(
+    network: RoadNetwork,
+    pois: list[POI],
+    config: LandmarkConfig | None = None,
+) -> LandmarkIndex:
+    """Assemble the landmark dataset from the map and the POI set.
+
+    Mirrors the paper's recipe: turning points from the map, POI-cluster
+    centroids from DBSCAN.  Significance scores are zero here; they are
+    assigned later by :func:`repro.landmarks.significance.assign_significance`.
+    """
+    config = config or LandmarkConfig()
+    projector = network.projector
+    landmarks: list[Landmark] = []
+    next_id = 0
+
+    for node_id, name in extract_turning_points(network, config.bend_threshold_deg):
+        landmarks.append(
+            Landmark(next_id, network.node(node_id).point, name, LandmarkKind.TURNING_POINT)
+        )
+        next_id += 1
+
+    # Provisional index of turning points for the merge test below.
+    provisional = LandmarkIndex(landmarks, projector)
+
+    points = [p.point for p in pois]
+    result = dbscan(points, config.dbscan_eps_m, config.dbscan_min_pts, projector)
+    centroids = cluster_centroids(points, result, projector)
+    for cluster, centroid in enumerate(centroids):
+        members = result.members(cluster)
+        best = max(members, key=lambda i: pois[i].category.attractiveness)
+        name = pois[best].name
+        near = provisional.nearest(centroid, max_radius_m=config.merge_radius_m)
+        if near is not None:
+            # Merge into the nearby turning point: same physical place on
+            # the network, but it now *is* the POI for every consumer.
+            near[1].name = name
+            near[1].kind = LandmarkKind.POI_CLUSTER
+            continue
+        landmarks.append(Landmark(next_id, centroid, name, LandmarkKind.POI_CLUSTER))
+        next_id += 1
+
+    return LandmarkIndex(landmarks, projector)
+
+
+def noise_ratio(labels: list[int]) -> float:
+    """Fraction of DBSCAN input points labelled as noise."""
+    if not labels:
+        return 0.0
+    return sum(1 for label in labels if label == NOISE) / len(labels)

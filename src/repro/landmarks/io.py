@@ -1,0 +1,65 @@
+"""JSON serialization of landmark datasets."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import GeometryError
+from repro.geo import GeoPoint, LocalProjector
+from repro.landmarks.model import Landmark, LandmarkIndex, LandmarkKind
+
+_FORMAT_VERSION = 1
+
+
+def landmarks_to_dict(index: LandmarkIndex) -> dict:
+    """JSON-compatible representation of a landmark index."""
+    return {
+        "version": _FORMAT_VERSION,
+        "origin": {
+            "lat": index.projector.origin.lat,
+            "lon": index.projector.origin.lon,
+        },
+        "landmarks": [
+            {
+                "id": lm.landmark_id,
+                "lat": lm.point.lat,
+                "lon": lm.point.lon,
+                "name": lm.name,
+                "kind": lm.kind.value,
+                "significance": lm.significance,
+            }
+            for lm in index
+        ],
+    }
+
+
+def landmarks_from_dict(data: dict) -> LandmarkIndex:
+    """Inverse of :func:`landmarks_to_dict`."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise GeometryError(f"unsupported landmark format version: {version}")
+    projector = LocalProjector(
+        GeoPoint(data["origin"]["lat"], data["origin"]["lon"])
+    )
+    landmarks = [
+        Landmark(
+            item["id"],
+            GeoPoint(item["lat"], item["lon"]),
+            item["name"],
+            LandmarkKind(item["kind"]),
+            item["significance"],
+        )
+        for item in data["landmarks"]
+    ]
+    return LandmarkIndex(landmarks, projector)
+
+
+def save_landmarks(index: LandmarkIndex, path: str | Path) -> None:
+    """Write the landmark dataset to *path* as JSON."""
+    Path(path).write_text(json.dumps(landmarks_to_dict(index)), encoding="utf-8")
+
+
+def load_landmarks(path: str | Path) -> LandmarkIndex:
+    """Read a landmark dataset written by :func:`save_landmarks`."""
+    return landmarks_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

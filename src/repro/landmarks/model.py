@@ -1,0 +1,90 @@
+"""Landmark model and spatial index.
+
+A landmark (paper Definition 2) is a stable geographic point independent of
+any trajectory — either a POI-cluster centre or a road-network turning
+point.  Landmarks carry a significance score ``l.s`` (Sec. IV-B) assigned by
+the HITS-like algorithm in :mod:`repro.landmarks.significance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import GeometryError
+from repro.geo import GeoPoint, GridIndex, LocalProjector
+
+LandmarkId = int
+
+
+class LandmarkKind(Enum):
+    """Origin of a landmark: POI cluster centre or road turning point."""
+
+    POI_CLUSTER = "poi_cluster"
+    TURNING_POINT = "turning_point"
+
+
+@dataclass(slots=True)
+class Landmark:
+    """A named, significance-scored anchor point in the city."""
+
+    landmark_id: LandmarkId
+    point: GeoPoint
+    name: str
+    kind: LandmarkKind
+    significance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.significance <= 1.0:
+            raise GeometryError(
+                f"landmark significance must lie in [0, 1], got {self.significance}"
+            )
+
+
+class LandmarkIndex:
+    """Spatially indexed landmark collection with id and metric lookups."""
+
+    def __init__(self, landmarks: list[Landmark], projector: LocalProjector) -> None:
+        self.projector = projector
+        self._by_id: dict[LandmarkId, Landmark] = {}
+        self._grid: GridIndex[LandmarkId] = GridIndex(projector)
+        for landmark in landmarks:
+            if landmark.landmark_id in self._by_id:
+                raise GeometryError(f"duplicate landmark id {landmark.landmark_id}")
+            self._by_id[landmark.landmark_id] = landmark
+            self._grid.insert(landmark.point, landmark.landmark_id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def __contains__(self, landmark_id: LandmarkId) -> bool:
+        return landmark_id in self._by_id
+
+    def get(self, landmark_id: LandmarkId) -> Landmark:
+        """Landmark by id; raises :class:`GeometryError` if unknown."""
+        try:
+            return self._by_id[landmark_id]
+        except KeyError:
+            raise GeometryError(f"unknown landmark id {landmark_id}") from None
+
+    def nearest(
+        self, point: GeoPoint, max_radius_m: float = 2_000.0
+    ) -> tuple[float, Landmark] | None:
+        """Closest landmark within *max_radius_m* of *point*, or ``None``."""
+        hit = self._grid.nearest(point, max_radius_m)
+        if hit is None:
+            return None
+        return (hit[0], self._by_id[hit[1]])
+
+    def within(self, point: GeoPoint, radius_m: float) -> list[tuple[float, Landmark]]:
+        """All landmarks within *radius_m* of *point*, sorted by distance."""
+        hits = self._grid.query_radius(point, radius_m)
+        hits.sort(key=lambda pair: pair[0])
+        return [(d, self._by_id[lid]) for d, lid in hits]
+
+    def ids(self) -> list[LandmarkId]:
+        """All landmark ids."""
+        return list(self._by_id)

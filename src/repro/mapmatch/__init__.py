@@ -1,0 +1,20 @@
+"""HMM map matching and the nearest-edge baseline."""
+
+from repro.mapmatch.candidates import Candidate, candidates_for_point
+from repro.mapmatch.hmm import (
+    HMMMapMatcher,
+    MapMatchConfig,
+    MatchedPoint,
+    MatchResult,
+    NearestEdgeMatcher,
+)
+
+__all__ = [
+    "Candidate",
+    "candidates_for_point",
+    "MapMatchConfig",
+    "MatchedPoint",
+    "MatchResult",
+    "HMMMapMatcher",
+    "NearestEdgeMatcher",
+]

@@ -1,0 +1,40 @@
+"""Candidate generation for map matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import GeoPoint, point_segment_distance_m
+from repro.roadnet import EdgeId, RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """A possible road position for one GPS sample.
+
+    ``fraction`` locates the projection along the edge, measured from the
+    edge's ``u`` endpoint toward ``v``.
+    """
+
+    edge_id: EdgeId
+    fraction: float
+    distance_m: float
+
+
+def candidates_for_point(
+    network: RoadNetwork,
+    point: GeoPoint,
+    radius_m: float,
+    max_candidates: int,
+) -> list[Candidate]:
+    """The *max_candidates* nearest edges within *radius_m* of *point*."""
+    hits = network.edges_near(point, radius_m)
+    hits.sort(key=lambda pair: pair[0])
+    out = []
+    for dist, edge in hits[:max_candidates]:
+        _, fraction = point_segment_distance_m(
+            point, network.node(edge.u).point, network.node(edge.v).point,
+            network.projector,
+        )
+        out.append(Candidate(edge.edge_id, fraction, dist))
+    return out

@@ -1,0 +1,43 @@
+"""Road-network substrate: attributed graph, routing, synthetic city."""
+
+from repro.roadnet.types import RoadGrade, TrafficDirection
+from repro.roadnet.network import EdgeId, NodeId, RoadEdge, RoadNetwork, RoadNode
+from repro.roadnet.shortest_path import (
+    a_star,
+    dijkstra,
+    dijkstra_all,
+    length_weight,
+    travel_time_weight,
+)
+from repro.roadnet.generator import (
+    CityConfig,
+    generate_city,
+    largest_scc_subnetwork,
+    strongly_connected_components,
+)
+from repro.roadnet.k_paths import k_shortest_paths
+from repro.roadnet.io import load_network, network_from_dict, network_to_dict, save_network
+
+__all__ = [
+    "RoadGrade",
+    "TrafficDirection",
+    "NodeId",
+    "EdgeId",
+    "RoadNode",
+    "RoadEdge",
+    "RoadNetwork",
+    "dijkstra",
+    "dijkstra_all",
+    "a_star",
+    "length_weight",
+    "travel_time_weight",
+    "CityConfig",
+    "generate_city",
+    "strongly_connected_components",
+    "largest_scc_subnetwork",
+    "k_shortest_paths",
+    "load_network",
+    "save_network",
+    "network_to_dict",
+    "network_from_dict",
+]

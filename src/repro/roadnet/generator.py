@@ -1,0 +1,246 @@
+"""Synthetic city generator.
+
+The paper evaluates on a commercial map of Beijing, which we cannot ship.
+This module generates a city-shaped road network that exercises the same
+code paths: a ring expressway, arterial avenues, and a capillary mesh of
+minor streets with one-way sections — seven road grades, widths correlated
+with grade, positional jitter so that intersections are genuine turning
+points.  Generation is fully deterministic given the RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import RoadNetworkError
+from repro.geo import GeoPoint, LocalProjector
+from repro.roadnet.network import NodeId, RoadNetwork
+from repro.roadnet.types import RoadGrade, TrafficDirection
+
+#: Syllables used to build street names; picked to read like romanized
+#: Chinese street names without colliding with real ones.
+_NAME_SYLLABLES = (
+    "Chang", "Hua", "Jing", "An", "Fu", "Xing", "Ping", "Yong", "Tai",
+    "Shun", "Guang", "Ming", "He", "Sheng", "Long", "Wen", "Qing", "Yuan",
+    "Bao", "Kang", "Da", "Xin", "Dong", "Nan", "Xi", "Bei", "Zhong",
+)
+
+_GRADE_SUFFIX: dict[RoadGrade, str] = {
+    RoadGrade.HIGHWAY: "Ring Expressway",
+    RoadGrade.EXPRESS: "Expressway",
+    RoadGrade.NATIONAL: "Avenue",
+    RoadGrade.PROVINCIAL: "Boulevard",
+    RoadGrade.COUNTRY: "Road",
+    RoadGrade.VILLAGE: "Street",
+    RoadGrade.FEEDER: "Lane",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CityConfig:
+    """Parameters of the synthetic city.
+
+    The defaults produce a ~7 km × 7 km urban core — large enough for trips
+    of dozens of segments, small enough to simulate thousands of trips in
+    seconds.
+    """
+
+    center: GeoPoint = GeoPoint(39.91, 116.40)
+    blocks: int = 22
+    block_size_m: float = 320.0
+    jitter_m: float = 32.0
+    one_way_fraction: float = 0.30
+    minor_removal_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.blocks < 4:
+            raise RoadNetworkError(f"city needs at least 4 blocks, got {self.blocks}")
+        if self.block_size_m <= 0.0:
+            raise RoadNetworkError("block size must be positive")
+        if not 0.0 <= self.one_way_fraction <= 1.0:
+            raise RoadNetworkError("one_way_fraction must be within [0, 1]")
+        if not 0.0 <= self.minor_removal_fraction <= 0.5:
+            raise RoadNetworkError("minor_removal_fraction must be within [0, 0.5]")
+
+
+def _line_grade(index: int, last: int, rng: np.random.Generator) -> RoadGrade:
+    """Grade of a full grid line by its index (ring roads on the border)."""
+    if index in (0, last):
+        return RoadGrade.HIGHWAY
+    if index % 8 == 4:
+        return RoadGrade.EXPRESS
+    if index % 4 == 2:
+        return RoadGrade.NATIONAL if index % 8 == 2 else RoadGrade.PROVINCIAL
+    if index % 2 == 0:
+        return RoadGrade.COUNTRY
+    return RoadGrade.VILLAGE if rng.random() < 0.6 else RoadGrade.FEEDER
+
+
+class _NameFactory:
+    """Generates unique, city-flavoured street names."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def make(self, grade: RoadGrade) -> str:
+        suffix = _GRADE_SUFFIX[grade]
+        for _ in range(200):
+            a, b = self._rng.choice(len(_NAME_SYLLABLES), size=2, replace=True)
+            stem = _NAME_SYLLABLES[int(a)] + _NAME_SYLLABLES[int(b)].lower()
+            name = f"{stem} {suffix}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        # Fall back to a numbered name if the syllable space is exhausted.
+        name = f"{suffix} {len(self._used) + 1}"
+        self._used.add(name)
+        return name
+
+
+def generate_city(config: CityConfig, rng: np.random.Generator) -> RoadNetwork:
+    """Build the synthetic road network described by *config*.
+
+    The result is guaranteed to be strongly connected (the largest strongly
+    connected component is kept; with the default parameters that is the
+    whole grid minus, at most, a few pruned feeder stubs).
+    """
+    n = config.blocks  # grid lines run from index 0 to n inclusive
+    half = n * config.block_size_m / 2.0
+    projector = LocalProjector(config.center)
+    network = RoadNetwork(projector)
+    names = _NameFactory(rng)
+
+    # Nodes: jittered grid vertices.  Border nodes are jittered less so the
+    # ring road stays ring-shaped.
+    node_ids: dict[tuple[int, int], NodeId] = {}
+    for i in range(n + 1):  # column index (west → east)
+        for j in range(n + 1):  # row index (south → north)
+            on_border = i in (0, n) or j in (0, n)
+            amplitude = config.jitter_m * (0.25 if on_border else 1.0)
+            dx = float(rng.uniform(-amplitude, amplitude))
+            dy = float(rng.uniform(-amplitude, amplitude))
+            x = i * config.block_size_m - half + dx
+            y = j * config.block_size_m - half + dy
+            node = network.add_node(projector.to_point(x, y))
+            node_ids[(i, j)] = node.node_id
+
+    # Per-line attributes: grade, width, name, one-way-ness.
+    def line_attrs(index: int) -> tuple[RoadGrade, float, str, TrafficDirection, int]:
+        grade = _line_grade(index, n, rng)
+        width = round(grade.typical_width_m * float(rng.uniform(0.85, 1.15)), 1)
+        name = names.make(grade)
+        minor = grade in (RoadGrade.VILLAGE, RoadGrade.FEEDER)
+        one_way = minor and rng.random() < config.one_way_fraction
+        direction = TrafficDirection.ONE_WAY if one_way else TrafficDirection.TWO_WAY
+        # One-way orientation alternates with the line index, as in real
+        # cities, so parallel one-way streets run in opposite directions.
+        orientation = 1 if index % 2 == 0 else -1
+        return (grade, width, name, direction, orientation)
+
+    v_lines = {i: line_attrs(i) for i in range(n + 1)}
+    h_lines = {j: line_attrs(j) for j in range(n + 1)}
+
+    def add_line_edge(
+        a: tuple[int, int],
+        b: tuple[int, int],
+        attrs: tuple[RoadGrade, float, str, TrafficDirection, int],
+    ) -> None:
+        grade, width, name, direction, orientation = attrs
+        removable = (
+            grade in (RoadGrade.VILLAGE, RoadGrade.FEEDER)
+            and direction is TrafficDirection.TWO_WAY
+            and rng.random() < config.minor_removal_fraction
+        )
+        if removable:
+            return
+        u, v = node_ids[a], node_ids[b]
+        if direction is TrafficDirection.ONE_WAY and orientation < 0:
+            u, v = v, u
+        network.add_edge(u, v, grade, width, direction, name)
+
+    for i in range(n + 1):  # vertical lines: edges between rows j and j+1
+        for j in range(n):
+            add_line_edge((i, j), (i, j + 1), v_lines[i])
+    for j in range(n + 1):  # horizontal lines: edges between columns i and i+1
+        for i in range(n):
+            add_line_edge((i, j), (i + 1, j), h_lines[j])
+
+    return largest_scc_subnetwork(network)
+
+
+def strongly_connected_components(network: RoadNetwork) -> list[set[NodeId]]:
+    """Strongly connected components of the directed traversal graph.
+
+    Iterative Kosaraju (two passes of depth-first search); recursion-free so
+    it handles city-sized graphs without hitting Python's stack limit.
+    """
+    order: list[NodeId] = []
+    visited: set[NodeId] = set()
+    for start in network.node_ids():
+        if start in visited:
+            continue
+        stack: list[tuple[NodeId, int]] = [(start, 0)]
+        visited.add(start)
+        while stack:
+            node, child_idx = stack.pop()
+            neighbors = network.neighbors(node)
+            if child_idx < len(neighbors):
+                stack.append((node, child_idx + 1))
+                nxt = neighbors[child_idx]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(node)
+
+    # Reverse adjacency: v -> list of predecessors u with a u->v edge.
+    reverse: dict[NodeId, list[NodeId]] = {nid: [] for nid in network.node_ids()}
+    for node_id in network.node_ids():
+        for _, neighbor in network.out_edges(node_id):
+            reverse[neighbor].append(node_id)
+
+    components: list[set[NodeId]] = []
+    assigned: set[NodeId] = set()
+    for start in reversed(order):
+        if start in assigned:
+            continue
+        component = {start}
+        assigned.add(start)
+        stack2 = [start]
+        while stack2:
+            node = stack2.pop()
+            for pred in reverse[node]:
+                if pred not in assigned:
+                    assigned.add(pred)
+                    component.add(pred)
+                    stack2.append(pred)
+        components.append(component)
+    return components
+
+
+def largest_scc_subnetwork(network: RoadNetwork) -> RoadNetwork:
+    """The sub-network induced by the largest strongly connected component.
+
+    Node and edge ids are preserved, so references remain valid across the
+    pruning step.
+    """
+    components = strongly_connected_components(network)
+    if not components:
+        return network
+    keep = max(components, key=len)
+    if len(keep) == network.node_count:
+        return network
+    pruned = RoadNetwork(network.projector)
+    for node in network.nodes():
+        if node.node_id in keep:
+            pruned.add_node(node.point, node_id=node.node_id)
+    for edge in network.edges():
+        if edge.u in keep and edge.v in keep:
+            pruned.add_edge(
+                edge.u, edge.v, edge.grade, edge.width_m, edge.direction,
+                edge.name, edge_id=edge.edge_id,
+            )
+    return pruned

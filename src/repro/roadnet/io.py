@@ -1,0 +1,69 @@
+"""JSON serialization of road networks."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import RoadNetworkError
+from repro.geo import GeoPoint, LocalProjector
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.types import RoadGrade, TrafficDirection
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """Serialize *network* into a JSON-compatible dictionary."""
+    return {
+        "version": _FORMAT_VERSION,
+        "origin": {"lat": network.projector.origin.lat, "lon": network.projector.origin.lon},
+        "nodes": [
+            {"id": n.node_id, "lat": n.point.lat, "lon": n.point.lon}
+            for n in network.nodes()
+        ],
+        "edges": [
+            {
+                "id": e.edge_id,
+                "u": e.u,
+                "v": e.v,
+                "grade": int(e.grade),
+                "width_m": e.width_m,
+                "direction": int(e.direction),
+                "name": e.name,
+            }
+            for e in network.edges()
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> RoadNetwork:
+    """Rebuild a road network from :func:`network_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise RoadNetworkError(f"unsupported road-network format version: {version}")
+    origin = GeoPoint(data["origin"]["lat"], data["origin"]["lon"])
+    network = RoadNetwork(LocalProjector(origin))
+    for node in data["nodes"]:
+        network.add_node(GeoPoint(node["lat"], node["lon"]), node_id=node["id"])
+    for edge in data["edges"]:
+        network.add_edge(
+            edge["u"],
+            edge["v"],
+            RoadGrade(edge["grade"]),
+            edge["width_m"],
+            TrafficDirection(edge["direction"]),
+            edge["name"],
+            edge_id=edge["id"],
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: str | Path) -> None:
+    """Write *network* to *path* as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network)), encoding="utf-8")
+
+
+def load_network(path: str | Path) -> RoadNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,94 @@
+"""Yen's k-shortest loopless paths.
+
+Route alternatives matter throughout the library: the simulator's taste
+noise creates them implicitly, the popular-route miner ranks them from
+history, and analyses (e.g. "how much longer is the second-best route?")
+need them explicitly.  This is the classic Yen construction on top of the
+library's own Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.exceptions import NoPathError, RoadNetworkError
+from repro.roadnet.network import NodeId, RoadEdge, RoadNetwork
+from repro.roadnet.shortest_path import WeightFn, dijkstra, length_weight
+
+
+def k_shortest_paths(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    weight: WeightFn = length_weight,
+) -> list[tuple[float, list[NodeId]]]:
+    """Up to *k* loopless paths from *source* to *target*, cheapest first.
+
+    Yen's algorithm: the best path comes from Dijkstra; each further path
+    is the cheapest "spur" deviation off an already accepted path, found by
+    re-running Dijkstra with the conflicting edges masked.  Returns fewer
+    than *k* entries when the graph does not contain that many distinct
+    loopless paths.  Raises :class:`NoPathError` when even the first path
+    does not exist.
+    """
+    if k < 1:
+        raise RoadNetworkError(f"k must be at least 1, got {k}")
+    cost, path = dijkstra(network, source, target, weight=weight)
+    accepted: list[tuple[float, list[NodeId]]] = [(cost, path)]
+    # Candidate heap keyed by cost; paths tracked as tuples for dedup.
+    candidates: list[tuple[float, tuple[NodeId, ...]]] = []
+    seen: set[tuple[NodeId, ...]] = {tuple(path)}
+
+    def masked_weight(banned_edges: set[int], banned_nodes: set[NodeId]) -> WeightFn:
+        def fn(edge: RoadEdge, u: NodeId, v: NodeId) -> float:
+            if edge.edge_id in banned_edges or v in banned_nodes or u in banned_nodes:
+                return float("inf")
+            return weight(edge, u, v)
+
+        return fn
+
+    while len(accepted) < k:
+        _, last_path = accepted[-1]
+        for i in range(len(last_path) - 1):
+            spur_node = last_path[i]
+            root = last_path[: i + 1]
+            banned_edges: set[int] = set()
+            for _, prior in accepted:
+                if prior[: i + 1] == root and len(prior) > i + 1:
+                    edge = network.edge_between(prior[i], prior[i + 1])
+                    if edge is not None:
+                        banned_edges.add(edge.edge_id)
+            banned_nodes = set(root[:-1])  # loopless: root interior excluded
+            try:
+                spur_cost, spur_path = dijkstra(
+                    network, spur_node, target,
+                    weight=masked_weight(banned_edges, banned_nodes),
+                )
+            except NoPathError:
+                continue
+            if spur_cost == float("inf") or float("inf") in (spur_cost,):
+                continue
+            total_path = root[:-1] + spur_path
+            key = tuple(total_path)
+            if key in seen:
+                continue
+            root_cost = 0.0
+            feasible = True
+            for u, v in zip(root, root[1:]):
+                edge = network.edge_between(u, v)
+                if edge is None:
+                    feasible = False
+                    break
+                root_cost += weight(edge, u, v)
+            if not feasible:
+                continue
+            seen.add(key)
+            heapq.heappush(candidates, (root_cost + spur_cost, key))
+        if not candidates:
+            break
+        next_cost, next_path = heapq.heappop(candidates)
+        if next_cost == float("inf"):
+            break
+        accepted.append((next_cost, list(next_path)))
+    return accepted

@@ -1,0 +1,293 @@
+"""The road-network graph: nodes, attributed edges, spatial queries.
+
+Edges are stored once with a :class:`TrafficDirection`; a two-way edge is
+traversable in both directions, a one-way edge only from ``u`` to ``v``.
+All metric queries (nearest node / nearest edge) are served by grid indexes
+built lazily on first use and invalidated on mutation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import RoadNetworkError
+from repro.geo import (
+    BoundingBox,
+    GeoPoint,
+    GridIndex,
+    LocalProjector,
+    point_segment_distance_m,
+)
+from repro.roadnet.types import RoadGrade, TrafficDirection
+
+NodeId = int
+EdgeId = int
+
+
+@dataclass(frozen=True, slots=True)
+class RoadNode:
+    """An intersection or geometry vertex of the road network."""
+
+    node_id: NodeId
+    point: GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class RoadEdge:
+    """A road segment between two nodes, carrying the paper's road attributes."""
+
+    edge_id: EdgeId
+    u: NodeId
+    v: NodeId
+    grade: RoadGrade
+    width_m: float
+    direction: TrafficDirection
+    name: str
+    length_m: float
+
+    def other_end(self, node: NodeId) -> NodeId:
+        """The endpoint opposite *node*."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise RoadNetworkError(f"node {node} is not an endpoint of edge {self.edge_id}")
+
+    def allows(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether traffic may traverse this edge from *src* to *dst*."""
+        if src == self.u and dst == self.v:
+            return True
+        if src == self.v and dst == self.u:
+            return self.direction is TrafficDirection.TWO_WAY
+        return False
+
+
+@dataclass(slots=True)
+class _Indexes:
+    node_grid: GridIndex[NodeId] | None = None
+    edge_grid: GridIndex[EdgeId] | None = None
+
+
+class RoadNetwork:
+    """A mutable road graph with attribute-carrying edges and spatial queries."""
+
+    def __init__(self, projector: LocalProjector) -> None:
+        self.projector = projector
+        self._nodes: dict[NodeId, RoadNode] = {}
+        self._edges: dict[EdgeId, RoadEdge] = {}
+        self._adjacency: dict[NodeId, list[EdgeId]] = {}
+        self._next_node_id = 0
+        self._next_edge_id = 0
+        self._indexes = _Indexes()
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, point: GeoPoint, node_id: NodeId | None = None) -> RoadNode:
+        """Add a node at *point*; auto-assigns an id unless one is given."""
+        if node_id is None:
+            node_id = self._next_node_id
+        if node_id in self._nodes:
+            raise RoadNetworkError(f"duplicate node id {node_id}")
+        node = RoadNode(node_id, point)
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = []
+        self._next_node_id = max(self._next_node_id, node_id + 1)
+        self._indexes = _Indexes()
+        return node
+
+    def add_edge(
+        self,
+        u: NodeId,
+        v: NodeId,
+        grade: RoadGrade,
+        width_m: float,
+        direction: TrafficDirection,
+        name: str,
+        edge_id: EdgeId | None = None,
+    ) -> RoadEdge:
+        """Add an edge between existing nodes *u* and *v*."""
+        if u not in self._nodes or v not in self._nodes:
+            raise RoadNetworkError(f"edge endpoints must exist: {u}, {v}")
+        if u == v:
+            raise RoadNetworkError(f"self-loop edges are not allowed (node {u})")
+        if width_m <= 0.0:
+            raise RoadNetworkError(f"road width must be positive, got {width_m}")
+        if edge_id is None:
+            edge_id = self._next_edge_id
+        if edge_id in self._edges:
+            raise RoadNetworkError(f"duplicate edge id {edge_id}")
+        length = self.projector.distance_m(self._nodes[u].point, self._nodes[v].point)
+        edge = RoadEdge(edge_id, u, v, grade, width_m, direction, name, length)
+        self._edges[edge_id] = edge
+        self._adjacency[u].append(edge_id)
+        self._adjacency[v].append(edge_id)
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        self._indexes = _Indexes()
+        return edge
+
+    # -- accessors ---------------------------------------------------------
+
+    def node(self, node_id: NodeId) -> RoadNode:
+        """Node by id; raises :class:`RoadNetworkError` if unknown."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise RoadNetworkError(f"unknown node id {node_id}") from None
+
+    def edge(self, edge_id: EdgeId) -> RoadEdge:
+        """Edge by id; raises :class:`RoadNetworkError` if unknown."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise RoadNetworkError(f"unknown edge id {edge_id}") from None
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def nodes(self) -> Iterator[RoadNode]:
+        """Iterate over all nodes."""
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[RoadEdge]:
+        """Iterate over all edges."""
+        return iter(self._edges.values())
+
+    def node_ids(self) -> list[NodeId]:
+        """All node ids, in insertion order."""
+        return list(self._nodes)
+
+    def bounding_box(self) -> BoundingBox:
+        """Extent of the network."""
+        return BoundingBox.from_points(n.point for n in self._nodes.values())
+
+    # -- topology ----------------------------------------------------------
+
+    def incident_edges(self, node_id: NodeId) -> list[RoadEdge]:
+        """Edges touching *node_id* regardless of direction."""
+        self.node(node_id)
+        return [self._edges[eid] for eid in self._adjacency[node_id]]
+
+    def out_edges(self, node_id: NodeId) -> list[tuple[RoadEdge, NodeId]]:
+        """Edges traversable *from* ``node_id``, as ``(edge, neighbour)``."""
+        out = []
+        for edge in self.incident_edges(node_id):
+            other = edge.other_end(node_id)
+            if edge.allows(node_id, other):
+                out.append((edge, other))
+        return out
+
+    def neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Node ids reachable from *node_id* in one hop."""
+        return [other for _, other in self.out_edges(node_id)]
+
+    def degree(self, node_id: NodeId) -> int:
+        """Number of incident edges (undirected degree)."""
+        self.node(node_id)
+        return len(self._adjacency[node_id])
+
+    def edge_between(self, u: NodeId, v: NodeId) -> RoadEdge | None:
+        """A traversable edge from *u* to *v*, or ``None``."""
+        for edge in self.incident_edges(u):
+            if edge.other_end(u) == v and edge.allows(u, v):
+                return edge
+        return None
+
+    # -- spatial queries ----------------------------------------------------
+
+    def _node_grid(self) -> GridIndex[NodeId]:
+        if self._indexes.node_grid is None:
+            grid: GridIndex[NodeId] = GridIndex(self.projector)
+            for node in self._nodes.values():
+                grid.insert(node.point, node.node_id)
+            self._indexes.node_grid = grid
+        return self._indexes.node_grid
+
+    def _edge_grid(self) -> GridIndex[EdgeId]:
+        # Edges are indexed by midpoint; queries over-scan by half the longest
+        # edge so that long edges near the query point are not missed.
+        if self._indexes.edge_grid is None:
+            grid: GridIndex[EdgeId] = GridIndex(self.projector)
+            for edge in self._edges.values():
+                a = self._nodes[edge.u].point
+                b = self._nodes[edge.v].point
+                mid = GeoPoint((a.lat + b.lat) / 2.0, (a.lon + b.lon) / 2.0)
+                grid.insert(mid, edge.edge_id)
+            self._indexes.edge_grid = grid
+        return self._indexes.edge_grid
+
+    def _max_edge_length(self) -> float:
+        if not self._edges:
+            return 0.0
+        return max(e.length_m for e in self._edges.values())
+
+    def nearest_node(self, point: GeoPoint, max_radius_m: float = 5_000.0) -> RoadNode | None:
+        """The node closest to *point* within *max_radius_m*."""
+        hit = self._node_grid().nearest(point, max_radius_m)
+        if hit is None:
+            return None
+        return self._nodes[hit[1]]
+
+    def nodes_within(self, point: GeoPoint, radius_m: float) -> list[tuple[float, RoadNode]]:
+        """All nodes within *radius_m* of *point*, as ``(distance, node)``."""
+        hits = self._node_grid().query_radius(point, radius_m)
+        return [(d, self._nodes[nid]) for d, nid in hits]
+
+    def edges_near(self, point: GeoPoint, radius_m: float) -> list[tuple[float, RoadEdge]]:
+        """Edges whose geometry passes within *radius_m* of *point*.
+
+        Returns ``(perpendicular_distance_m, edge)`` pairs, unsorted.
+        """
+        scan = radius_m + self._max_edge_length() / 2.0 + 1.0
+        out: list[tuple[float, RoadEdge]] = []
+        for _, eid in self._edge_grid().query_radius(point, scan):
+            edge = self._edges[eid]
+            dist, _ = point_segment_distance_m(
+                point, self._nodes[edge.u].point, self._nodes[edge.v].point, self.projector
+            )
+            if dist <= radius_m:
+                out.append((dist, edge))
+        return out
+
+    def nearest_edge(
+        self, point: GeoPoint, max_radius_m: float = 500.0
+    ) -> tuple[float, RoadEdge] | None:
+        """The edge geometrically closest to *point*, or ``None``."""
+        hits = self.edges_near(point, max_radius_m)
+        if not hits:
+            return None
+        return min(hits, key=lambda pair: pair[0])
+
+    # -- derived geometry ----------------------------------------------------
+
+    def edge_bearing_deg(self, edge: RoadEdge, from_node: NodeId) -> float:
+        """Bearing of *edge* leaving *from_node*, degrees clockwise from north."""
+        a = self.node(from_node).point
+        b = self.node(edge.other_end(from_node)).point
+        ax, ay = self.projector.to_xy(a)
+        bx, by = self.projector.to_xy(b)
+        return math.degrees(math.atan2(bx - ax, by - ay)) % 360.0
+
+    def path_points(self, node_path: Iterable[NodeId]) -> list[GeoPoint]:
+        """Geometry of a node path as a polyline of node coordinates."""
+        return [self.node(nid).point for nid in node_path]
+
+    def path_edges(self, node_path: list[NodeId]) -> list[RoadEdge]:
+        """Edges along a node path; raises if two nodes are not connected."""
+        edges = []
+        for u, v in zip(node_path, node_path[1:]):
+            edge = self.edge_between(u, v)
+            if edge is None:
+                raise RoadNetworkError(f"no traversable edge from {u} to {v}")
+            edges.append(edge)
+        return edges
+
+    def path_length_m(self, node_path: list[NodeId]) -> float:
+        """Total length of the edges along a node path, metres."""
+        return sum(e.length_m for e in self.path_edges(node_path))

@@ -1,0 +1,149 @@
+"""Shortest-path algorithms over the road network.
+
+Implemented from scratch (binary-heap Dijkstra and A* with a straight-line
+heuristic) so the library carries its own routing substrate.  Weight
+functions receive the edge and the traversal direction, enabling
+length-based, travel-time-based or popularity-based routing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.exceptions import NoPathError, RoadNetworkError
+from repro.roadnet.network import NodeId, RoadEdge, RoadNetwork
+
+# weight(edge, src, dst) -> non-negative cost of traversing edge from src to dst
+WeightFn = Callable[[RoadEdge, NodeId, NodeId], float]
+
+
+def length_weight(edge: RoadEdge, src: NodeId, dst: NodeId) -> float:
+    """Edge weight equal to its geometric length (metres)."""
+    return edge.length_m
+
+
+def travel_time_weight(edge: RoadEdge, src: NodeId, dst: NodeId) -> float:
+    """Edge weight equal to free-flow travel time (seconds)."""
+    speed_ms = edge.grade.free_flow_speed_kmh / 3.6
+    return edge.length_m / speed_ms
+
+
+def _reconstruct(parents: dict[NodeId, NodeId], dst: NodeId) -> list[NodeId]:
+    path = [dst]
+    while path[-1] in parents:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    weight: WeightFn = length_weight,
+) -> tuple[float, list[NodeId]]:
+    """Least-cost path from *source* to *target*.
+
+    Returns ``(cost, node_path)``; raises :class:`NoPathError` when *target*
+    is unreachable.
+    """
+    network.node(source)
+    network.node(target)
+    dist: dict[NodeId, float] = {source: 0.0}
+    parents: dict[NodeId, NodeId] = {}
+    done: set[NodeId] = set()
+    heap: list[tuple[float, NodeId]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        if u == target:
+            return (d, _reconstruct(parents, target))
+        done.add(u)
+        for edge, v in network.out_edges(u):
+            if v in done:
+                continue
+            w = weight(edge, u, v)
+            if w < 0.0:
+                raise RoadNetworkError(f"negative edge weight {w} on edge {edge.edge_id}")
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                parents[v] = u
+                heapq.heappush(heap, (nd, v))
+    raise NoPathError(f"no path from node {source} to node {target}")
+
+
+def dijkstra_all(
+    network: RoadNetwork,
+    source: NodeId,
+    weight: WeightFn = length_weight,
+    max_cost: float | None = None,
+) -> dict[NodeId, float]:
+    """Costs of the least-cost paths from *source* to every reachable node.
+
+    When *max_cost* is given, the search is pruned beyond that cost.
+    """
+    network.node(source)
+    dist: dict[NodeId, float] = {source: 0.0}
+    done: set[NodeId] = set()
+    heap: list[tuple[float, NodeId]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for edge, v in network.out_edges(u):
+            if v in done:
+                continue
+            nd = d + weight(edge, u, v)
+            if max_cost is not None and nd > max_cost:
+                continue
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def a_star(
+    network: RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    weight: WeightFn = length_weight,
+    heuristic_scale: float = 1.0,
+) -> tuple[float, list[NodeId]]:
+    """A* search with a straight-line-distance heuristic.
+
+    The heuristic is admissible for :func:`length_weight` with
+    ``heuristic_scale=1``; for travel-time weights pass
+    ``heuristic_scale = 1 / v_max`` (seconds per metre at the fastest speed).
+    """
+    network.node(source)
+    target_point = network.node(target).point
+
+    def h(node_id: NodeId) -> float:
+        return heuristic_scale * network.projector.distance_m(
+            network.node(node_id).point, target_point
+        )
+
+    dist: dict[NodeId, float] = {source: 0.0}
+    parents: dict[NodeId, NodeId] = {}
+    done: set[NodeId] = set()
+    heap: list[tuple[float, NodeId]] = [(h(source), source)]
+    while heap:
+        _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        if u == target:
+            return (dist[u], _reconstruct(parents, target))
+        done.add(u)
+        for edge, v in network.out_edges(u):
+            if v in done:
+                continue
+            nd = dist[u] + weight(edge, u, v)
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                parents[v] = u
+                heapq.heappush(heap, (nd + h(v), v))
+    raise NoPathError(f"no path from node {source} to node {target}")

@@ -1,0 +1,83 @@
+"""Road attribute vocabulary: grades, traffic directions, default physics.
+
+The paper (Sec. III-A) uses seven road grades — 1 (highway) … 7 (feeder
+road) — a numeric road width and a two-valued traffic direction.  Roads with
+a higher grade (smaller numeric value) have higher transport capacity, which
+here translates into higher free-flow speeds and wider carriageways.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class RoadGrade(IntEnum):
+    """The seven road grades of the paper; smaller value = more major road."""
+
+    HIGHWAY = 1
+    EXPRESS = 2
+    NATIONAL = 3
+    PROVINCIAL = 4
+    COUNTRY = 5
+    VILLAGE = 6
+    FEEDER = 7
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name used in generated summaries."""
+        return _GRADE_NAMES[self]
+
+    @property
+    def free_flow_speed_kmh(self) -> float:
+        """Typical unimpeded speed on this grade of road, km/h."""
+        return _GRADE_SPEEDS_KMH[self]
+
+    @property
+    def typical_width_m(self) -> float:
+        """Typical carriageway width for this grade, metres."""
+        return _GRADE_WIDTHS_M[self]
+
+
+_GRADE_NAMES: dict[RoadGrade, str] = {
+    RoadGrade.HIGHWAY: "highway",
+    RoadGrade.EXPRESS: "express road",
+    RoadGrade.NATIONAL: "national road",
+    RoadGrade.PROVINCIAL: "provincial road",
+    RoadGrade.COUNTRY: "country road",
+    RoadGrade.VILLAGE: "village road",
+    RoadGrade.FEEDER: "feeder road",
+}
+
+_GRADE_SPEEDS_KMH: dict[RoadGrade, float] = {
+    RoadGrade.HIGHWAY: 100.0,
+    RoadGrade.EXPRESS: 80.0,
+    RoadGrade.NATIONAL: 65.0,
+    RoadGrade.PROVINCIAL: 55.0,
+    RoadGrade.COUNTRY: 45.0,
+    RoadGrade.VILLAGE: 35.0,
+    RoadGrade.FEEDER: 25.0,
+}
+
+_GRADE_WIDTHS_M: dict[RoadGrade, float] = {
+    RoadGrade.HIGHWAY: 28.0,
+    RoadGrade.EXPRESS: 22.0,
+    RoadGrade.NATIONAL: 18.0,
+    RoadGrade.PROVINCIAL: 14.0,
+    RoadGrade.COUNTRY: 10.0,
+    RoadGrade.VILLAGE: 7.0,
+    RoadGrade.FEEDER: 5.0,
+}
+
+
+class TrafficDirection(IntEnum):
+    """Traffic direction codes of the paper: 1 two-way, 2 one-way."""
+
+    TWO_WAY = 1
+    ONE_WAY = 2
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name used in generated summaries."""
+        if self is TrafficDirection.TWO_WAY:
+            return "two-way road"
+        return "one-way road"

@@ -1,0 +1,7 @@
+"""Historical knowledge: transfer network, popular routes, feature map."""
+
+from repro.routes.transfer import TransferNetwork
+from repro.routes.popular import PopularRouteMiner
+from repro.routes.feature_map import HistoricalFeatureMap
+
+__all__ = ["TransferNetwork", "PopularRouteMiner", "HistoricalFeatureMap"]

@@ -1,0 +1,119 @@
+"""Historical feature map (paper Sec. V-B).
+
+For every moving feature, a directed graph over landmarks whose edge
+``(l_i, l_j)`` is annotated with the *average* feature value observed on
+historical trajectories travelling directly from ``l_i`` to ``l_j`` — e.g.
+the ordinary speed or the ordinary number of stay points on that hop.  The
+feature selector compares a partition's observed values against these
+regular values to compute moving-feature irregular rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.landmarks import LandmarkId
+
+
+@dataclass(slots=True)
+class _Accumulator:
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class HistoricalFeatureMap:
+    """Average moving-feature values per landmark transition."""
+
+    def __init__(self) -> None:
+        # (src, dst) -> feature key -> accumulator
+        self._edges: dict[tuple[LandmarkId, LandmarkId], dict[str, _Accumulator]] = {}
+        # feature key -> global accumulator, the fallback for unseen edges
+        self._global: dict[str, _Accumulator] = {}
+
+    def add_observation(
+        self, src: LandmarkId, dst: LandmarkId, values: Mapping[str, float]
+    ) -> None:
+        """Record one historical traversal of ``src -> dst`` with its
+        per-feature values."""
+        slot = self._edges.setdefault((src, dst), {})
+        for key, value in values.items():
+            slot.setdefault(key, _Accumulator()).add(value)
+            self._global.setdefault(key, _Accumulator()).add(value)
+
+    def has_edge(self, src: LandmarkId, dst: LandmarkId) -> bool:
+        """Whether any traversal of ``src -> dst`` was observed."""
+        return (src, dst) in self._edges
+
+    def observation_count(self, src: LandmarkId, dst: LandmarkId, key: str) -> int:
+        """Number of recorded traversals carrying feature *key*."""
+        slot = self._edges.get((src, dst))
+        if not slot or key not in slot:
+            return 0
+        return slot[key].count
+
+    def regular_value(
+        self, src: LandmarkId, dst: LandmarkId, key: str
+    ) -> float | None:
+        """The ordinary value ``r_{src -> dst}`` of feature *key*.
+
+        Falls back to the feature's city-wide average when the specific
+        transition was never observed; returns ``None`` only when the
+        feature is entirely unknown to the map.
+        """
+        slot = self._edges.get((src, dst))
+        if slot and key in slot:
+            return slot[key].mean
+        if key in self._global:
+            return self._global[key].mean
+        return None
+
+    def global_average(self, key: str) -> float | None:
+        """City-wide average of feature *key*, if any observation exists."""
+        if key in self._global:
+            return self._global[key].mean
+        return None
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (sums and counts, exactly)."""
+        return {
+            "edges": [
+                {
+                    "src": src,
+                    "dst": dst,
+                    "features": {
+                        key: [acc.total, acc.count] for key, acc in slot.items()
+                    },
+                }
+                for (src, dst), slot in self._edges.items()
+            ],
+            "global": {
+                key: [acc.total, acc.count] for key, acc in self._global.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistoricalFeatureMap":
+        """Inverse of :meth:`to_dict`."""
+        feature_map = cls()
+        for edge in data["edges"]:
+            slot = feature_map._edges.setdefault((edge["src"], edge["dst"]), {})
+            for key, (total, count) in edge["features"].items():
+                slot[key] = _Accumulator(total, count)
+        for key, (total, count) in data["global"].items():
+            feature_map._global[key] = _Accumulator(total, count)
+        return feature_map

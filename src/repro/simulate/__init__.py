@@ -1,0 +1,34 @@
+"""Simulation substrate: traffic model, trips, fleet, check-ins, scenario."""
+
+from repro.simulate.traffic import SECONDS_PER_DAY, TrafficModel
+from repro.simulate.vehicles import (
+    SimulatedTrip,
+    StopEvent,
+    TripConfig,
+    TripSimulator,
+    UTurnEvent,
+)
+from repro.simulate.checkins import (
+    CheckinConfig,
+    generate_checkins,
+    landmark_popularity,
+)
+from repro.simulate.fleet import FleetConfig, FleetSimulator
+from repro.simulate.scenario import CityScenario, ScenarioConfig
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "TrafficModel",
+    "TripConfig",
+    "TripSimulator",
+    "SimulatedTrip",
+    "StopEvent",
+    "UTurnEvent",
+    "CheckinConfig",
+    "generate_checkins",
+    "landmark_popularity",
+    "FleetConfig",
+    "FleetSimulator",
+    "ScenarioConfig",
+    "CityScenario",
+]

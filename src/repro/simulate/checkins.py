@@ -1,0 +1,83 @@
+"""Synthetic LBSN check-ins.
+
+Stands in for the paper's location-based-social-network dataset: users
+check in at landmarks with a heavy-tailed popularity distribution (a few
+famous places dominate).  POI-cluster landmarks are intrinsically more
+attractive than bare turning points.  Feeding these visits to the HITS-like
+algorithm produces the long-tail significance distribution the paper's
+Fig. 9 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.landmarks import LandmarkIndex, LandmarkKind, Visit
+
+
+@dataclass(frozen=True, slots=True)
+class CheckinConfig:
+    """Parameters of the synthetic check-in process."""
+
+    n_users: int = 400
+    n_checkins: int = 8_000
+    #: Zipf-like exponent of landmark popularity (higher = heavier head).
+    popularity_exponent: float = 1.1
+    #: Popularity multiplier of POI-cluster landmarks over turning points.
+    poi_boost: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.n_checkins < 1:
+            raise ConfigError("need at least one user and one check-in")
+        if self.popularity_exponent <= 0.0:
+            raise ConfigError("popularity exponent must be positive")
+        if self.poi_boost <= 0.0:
+            raise ConfigError("poi boost must be positive")
+
+
+def landmark_popularity(
+    landmarks: LandmarkIndex, config: CheckinConfig, rng: np.random.Generator
+) -> dict[int, float]:
+    """Latent popularity per landmark: Zipf over a random ranking.
+
+    The ranking is random (popularity is social, not geometric) but POI
+    clusters are boosted, so famous places tend to be actual places.
+    """
+    ids = landmarks.ids()
+    order = rng.permutation(len(ids))
+    popularity: dict[int, float] = {}
+    for rank_pos, idx in enumerate(order):
+        landmark = landmarks.get(ids[int(idx)])
+        base = 1.0 / (rank_pos + 1) ** config.popularity_exponent
+        if landmark.kind is LandmarkKind.POI_CLUSTER:
+            base *= config.poi_boost
+        popularity[landmark.landmark_id] = base
+    return popularity
+
+
+def generate_checkins(
+    landmarks: LandmarkIndex,
+    config: CheckinConfig,
+    rng: np.random.Generator,
+) -> list[Visit]:
+    """Sample check-in visits: users weighted by activity, landmarks by
+    popularity."""
+    ids = landmarks.ids()
+    if not ids:
+        raise ConfigError("cannot generate check-ins without landmarks")
+    popularity = landmark_popularity(landmarks, config, rng)
+    weights = np.array([popularity[lid] for lid in ids])
+    weights = weights / weights.sum()
+    # User activity is itself heavy-tailed (a few prolific users).
+    user_weights = 1.0 / np.arange(1, config.n_users + 1) ** 0.8
+    user_weights = user_weights / user_weights.sum()
+
+    landmark_draws = rng.choice(len(ids), size=config.n_checkins, p=weights)
+    user_draws = rng.choice(config.n_users, size=config.n_checkins, p=user_weights)
+    return [
+        Visit(f"user-{int(u)}", ids[int(l)])
+        for u, l in zip(user_draws, landmark_draws)
+    ]

@@ -1,0 +1,181 @@
+"""One-stop scenario builder.
+
+``CityScenario.build`` assembles everything the paper's experiments need —
+synthetic city, POIs, landmarks, check-ins, HITS significance, a taxi
+training corpus, and a trained :class:`~repro.core.summarizer.STMaker` —
+from a single seed, deterministically.  It is the standard entry point of
+the examples, the experiment harness, and the end-to-end tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.calibration import AnchorCalibrator, CalibrationConfig
+from repro.core.config import SummarizerConfig
+from repro.core.summarizer import STMaker
+from repro.exceptions import CalibrationError
+from repro.features import FeatureRegistry, default_registry
+from repro.landmarks import (
+    LandmarkConfig,
+    LandmarkIndex,
+    POIConfig,
+    Visit,
+    assign_significance,
+    build_landmarks,
+    generate_pois,
+)
+from repro.roadnet import CityConfig, RoadNetwork, generate_city
+from repro.simulate.checkins import CheckinConfig, generate_checkins, landmark_popularity
+from repro.simulate.fleet import FleetConfig, FleetSimulator
+from repro.simulate.traffic import TrafficModel
+from repro.simulate.vehicles import SimulatedTrip, TripConfig, TripSimulator
+from repro.trajectory import RawTrajectory, SymbolicTrajectory
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to rebuild a scenario bit-for-bit."""
+
+    seed: int = 7
+    city: CityConfig = field(default_factory=lambda: CityConfig(blocks=14))
+    pois: POIConfig = field(default_factory=lambda: POIConfig(count=1_500))
+    landmarks: LandmarkConfig = field(default_factory=LandmarkConfig)
+    checkins: CheckinConfig = field(default_factory=CheckinConfig)
+    trip: TripConfig = field(default_factory=TripConfig)
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+    summarizer: SummarizerConfig = field(default_factory=SummarizerConfig)
+    n_training_trips: int = 300
+    training_days: int = 3
+    include_speed_change_feature: bool = False
+
+
+class CityScenario:
+    """A fully built city with a trained STMaker and trip generators."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        network: RoadNetwork,
+        landmarks: LandmarkIndex,
+        traffic: TrafficModel,
+        trip_simulator: TripSimulator,
+        fleet: FleetSimulator,
+        stmaker: STMaker,
+        registry: FeatureRegistry,
+        test_rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.network = network
+        self.landmarks = landmarks
+        self.traffic = traffic
+        self.trip_simulator = trip_simulator
+        self.fleet = fleet
+        self.stmaker = stmaker
+        self.registry = registry
+        self._test_rng = test_rng
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: ScenarioConfig | None = None) -> "CityScenario":
+        """Build the whole scenario from its config (deterministic)."""
+        config = config or ScenarioConfig()
+        streams = np.random.SeedSequence(config.seed).spawn(5)
+        rng_city, rng_poi, rng_checkin, rng_train, rng_test = (
+            np.random.default_rng(s) for s in streams
+        )
+
+        network = generate_city(config.city, rng_city)
+        pois = generate_pois(
+            POIConfig(
+                count=config.pois.count,
+                activity_centers=config.pois.activity_centers,
+                center_sigma_m=config.pois.center_sigma_m,
+                background_fraction=config.pois.background_fraction,
+            ),
+            network.bounding_box(),
+            network.projector,
+            rng_poi,
+        )
+        landmarks = build_landmarks(network, pois, config.landmarks)
+
+        popularity = landmark_popularity(landmarks, config.checkins, rng_checkin)
+        checkins = generate_checkins(landmarks, config.checkins, rng_checkin)
+
+        traffic = TrafficModel()
+        trip_simulator = TripSimulator(network, traffic, config.trip)
+        fleet = FleetSimulator(
+            network, landmarks, trip_simulator,
+            landmark_popularity=popularity, config=config.fleet,
+        )
+
+        # Training corpus: simulate, calibrate, and derive taxi visits.
+        calibrator = AnchorCalibrator(landmarks, config.calibration)
+        training = fleet.generate(
+            config.n_training_trips, rng_train,
+            days=config.training_days, id_prefix="train",
+        )
+        calibrated: list[tuple[RawTrajectory, SymbolicTrajectory]] = []
+        taxi_visits: list[Visit] = []
+        for trip in training:
+            try:
+                symbolic = calibrator.calibrate(trip.raw)
+            except CalibrationError:
+                continue
+            calibrated.append((trip.raw, symbolic))
+            # Taxi evidence for landmark familiarity: passenger events (the
+            # pick-up and drop-off) are strong signals and count with
+            # multiplicity; mere pass-throughs count once — they keep the
+            # significance scale continuous across ordinary intersections.
+            ids = symbolic.landmark_ids()
+            taxi_visits.extend(
+                Visit(trip.raw.trajectory_id, lid) for lid in ids
+            )
+            for endpoint in (ids[0], ids[-1]):
+                taxi_visits.extend(
+                    Visit(trip.raw.trajectory_id, endpoint) for _ in range(2)
+                )
+
+        assign_significance(landmarks, checkins + taxi_visits)
+
+        registry = default_registry(
+            include_speed_change=config.include_speed_change_feature
+        )
+        stmaker = STMaker.train_calibrated(
+            network, landmarks, calibrated,
+            config=config.summarizer, registry=registry, calibrator=calibrator,
+        )
+        return cls(
+            config, network, landmarks, traffic, trip_simulator, fleet,
+            stmaker, registry, rng_test,
+        )
+
+    # -- test-data generation --------------------------------------------------------
+
+    def simulate_trip(
+        self,
+        depart_time: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SimulatedTrip:
+        """One fresh test trip (not part of the training corpus)."""
+        return self.simulate_trips(1, depart_time=depart_time, rng=rng)[0]
+
+    def simulate_trips(
+        self,
+        n: int,
+        depart_time: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[SimulatedTrip]:
+        """*n* fresh test trips, optionally all departing at *depart_time*."""
+        rng = rng or self._test_rng
+        return self.fleet.generate(
+            n, rng, days=1, depart_time=depart_time, id_prefix="test"
+        )
+
+    def summarizer_with(self, config: SummarizerConfig) -> STMaker:
+        """An STMaker sharing this scenario's trained state under *config*."""
+        return self.stmaker.with_config(config)

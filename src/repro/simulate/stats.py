@@ -1,0 +1,107 @@
+"""Corpus and network statistics — the "dataset description" numbers.
+
+The paper's Sec. VII-A describes its datasets (map size, landmark counts,
+trajectory counts).  These helpers compute the equivalent statistics of a
+scenario so EXPERIMENTS.md and the docs can report what the simulator
+actually produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.landmarks import LandmarkKind
+from repro.roadnet import RoadNetwork
+from repro.simulate.vehicles import SimulatedTrip
+from repro.trajectory import average_speed_ms
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkStatistics:
+    """Structural numbers of a road network."""
+
+    nodes: int
+    edges: int
+    total_length_km: float
+    length_share_by_grade: dict[str, float]
+    one_way_share: float
+
+
+def network_statistics(network: RoadNetwork) -> NetworkStatistics:
+    """Compute :class:`NetworkStatistics` for *network*."""
+    if network.edge_count == 0:
+        raise ConfigError("cannot compute statistics of an empty network")
+    total = 0.0
+    by_grade: dict[str, float] = {}
+    one_way = 0.0
+    for edge in network.edges():
+        total += edge.length_m
+        name = edge.grade.display_name
+        by_grade[name] = by_grade.get(name, 0.0) + edge.length_m
+        if int(edge.direction) == 2:
+            one_way += edge.length_m
+    return NetworkStatistics(
+        nodes=network.node_count,
+        edges=network.edge_count,
+        total_length_km=total / 1000.0,
+        length_share_by_grade={g: l / total for g, l in by_grade.items()},
+        one_way_share=one_way / total,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStatistics:
+    """Aggregate numbers of a simulated trip corpus."""
+
+    trips: int
+    total_samples: int
+    mean_samples_per_trip: float
+    mean_duration_s: float
+    mean_length_km: float
+    mean_speed_kmh: float
+    trips_with_stops: float
+    trips_with_u_turns: float
+
+
+def corpus_statistics(
+    trips: list[SimulatedTrip], network: RoadNetwork
+) -> CorpusStatistics:
+    """Compute :class:`CorpusStatistics` for a trip corpus."""
+    if not trips:
+        raise ConfigError("cannot compute statistics of an empty corpus")
+    projector = network.projector
+    samples = [len(t.raw) for t in trips]
+    durations = [t.raw.duration_s for t in trips]
+    lengths = [t.raw.length_m(projector) / 1000.0 for t in trips]
+    speeds = [average_speed_ms(t.raw.points, projector) * 3.6 for t in trips]
+    return CorpusStatistics(
+        trips=len(trips),
+        total_samples=int(np.sum(samples)),
+        mean_samples_per_trip=float(np.mean(samples)),
+        mean_duration_s=float(np.mean(durations)),
+        mean_length_km=float(np.mean(lengths)),
+        mean_speed_kmh=float(np.mean(speeds)),
+        trips_with_stops=float(np.mean([bool(t.stops) for t in trips])),
+        trips_with_u_turns=float(np.mean([bool(t.u_turns) for t in trips])),
+    )
+
+
+def landmark_statistics(landmarks) -> dict[str, float]:
+    """Counts and significance spread of a landmark dataset."""
+    sigs = [lm.significance for lm in landmarks]
+    if not sigs:
+        raise ConfigError("cannot compute statistics of an empty landmark set")
+    return {
+        "total": len(sigs),
+        "poi_clusters": sum(
+            1 for lm in landmarks if lm.kind is LandmarkKind.POI_CLUSTER
+        ),
+        "turning_points": sum(
+            1 for lm in landmarks if lm.kind is LandmarkKind.TURNING_POINT
+        ),
+        "significance_max": float(np.max(sigs)),
+        "significance_median": float(np.median(sigs)),
+    }

@@ -1,0 +1,341 @@
+"""Single-trip simulator with ground-truth event log.
+
+Simulates one vehicle trip over the road network under the traffic model:
+route choice with per-trip taste noise (so popular routes emerge from the
+consistently attractive roads while individual trips vary), per-edge speeds
+scaled by road grade / time of day / driver temperament, forced stops at
+intersections, occasional mid-route U-turns with re-routing, and GPS
+sampling with configurable interval and noise.
+
+The returned :class:`SimulatedTrip` keeps the ground truth (route nodes,
+stop events, U-turn events) so tests and the simulated user study can
+verify what a summary *should* have reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError, NoPathError
+from repro.geo import GeoPoint
+from repro.roadnet import NodeId, RoadEdge, RoadNetwork, dijkstra
+from repro.simulate.traffic import TrafficModel
+from repro.trajectory import RawTrajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True, slots=True)
+class StopEvent:
+    """Ground truth: the vehicle was held still at a location."""
+
+    location: GeoPoint
+    t_start: float
+    t_end: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True, slots=True)
+class UTurnEvent:
+    """Ground truth: the vehicle reversed direction mid-edge."""
+
+    location: GeoPoint
+    t: float
+
+
+@dataclass(frozen=True, slots=True)
+class SimulatedTrip:
+    """One simulated trip: GPS output plus simulation ground truth."""
+
+    raw: RawTrajectory
+    origin: NodeId
+    destination: NodeId
+    depart_time: float
+    route_nodes: list[NodeId]
+    stops: list[StopEvent]
+    u_turns: list[UTurnEvent]
+
+
+@dataclass(frozen=True)
+class TripConfig:
+    """Knobs of the trip simulator."""
+
+    sample_interval_s: float = 5.0
+    gps_noise_m: float = 4.0
+    #: Per-trip multiplicative taste noise on edge travel times (route
+    #: diversity); 0 disables it.
+    route_taste_noise: float = 0.25
+    #: Driver speed temperament: multiplier drawn from N(1, this sigma).
+    driver_sigma: float = 0.08
+    #: Probability that a trip contains one U-turn episode (scaled up under
+    #: daytime congestion, down at night).
+    u_turn_probability: float = 0.12
+    #: Forced-stop duration bounds (seconds).
+    stop_duration_range: tuple[float, float] = (30.0, 90.0)
+    #: Probability of a spontaneous mid-edge stop (parcel pickup, ...).
+    mid_edge_stop_probability: float = 0.01
+    #: Std-dev of the trip-level congestion multiplier.  Daytime congestion
+    #: varies trip to trip (incidents, green waves); nights are stable
+    #: because there is little congestion to vary.
+    congestion_sigma: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s <= 0.0:
+            raise ConfigError("sample interval must be positive")
+        if self.gps_noise_m < 0.0:
+            raise ConfigError("GPS noise must be non-negative")
+        lo, hi = self.stop_duration_range
+        if not 0.0 < lo <= hi:
+            raise ConfigError("invalid stop duration range")
+        if not 0.0 <= self.u_turn_probability <= 1.0:
+            raise ConfigError("u_turn_probability must lie in [0, 1]")
+
+
+@dataclass(slots=True)
+class _Waypoint:
+    x: float
+    y: float
+    t: float
+
+
+class TripSimulator:
+    """Simulates trips on a road network under a traffic model."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        traffic: TrafficModel | None = None,
+        config: TripConfig | None = None,
+    ) -> None:
+        self.network = network
+        self.traffic = traffic or TrafficModel()
+        self.config = config or TripConfig()
+
+    # -- public API -----------------------------------------------------------
+
+    def simulate(
+        self,
+        origin: NodeId,
+        destination: NodeId,
+        depart_time: float,
+        rng: np.random.Generator,
+        trajectory_id: str = "",
+    ) -> SimulatedTrip:
+        """Simulate one trip; raises :class:`NoPathError` if unroutable."""
+        taste = self._taste_weights(rng, depart_time)
+        _, route = dijkstra(self.network, origin, destination, weight=taste)
+        driver = float(rng.normal(1.0, self.config.driver_sigma))
+        driver = min(1.3, max(0.7, driver))
+        # Trip-level congestion luck: scales the city congestion up or down
+        # for the whole trip.
+        congestion_scale = float(
+            max(0.2, rng.normal(1.0, self.config.congestion_sigma))
+        )
+
+        waypoints: list[_Waypoint] = []
+        stops: list[StopEvent] = []
+        u_turns: list[UTurnEvent] = []
+        t = depart_time
+        self._emit(waypoints, route[0], t)
+
+        # Wrong turns correlate with traffic stress: more likely by day.
+        # A lost driver rarely recovers in one correction, so an episode
+        # consists of one to three U-turns in quick succession.
+        u_turn_p = self.config.u_turn_probability * (
+            0.5 + 1.5 * self.traffic.congestion(depart_time)
+        )
+        u_turns_remaining = 0
+        if rng.random() < min(1.0, u_turn_p) and len(route) >= 4:
+            u_turns_remaining = int(rng.integers(1, 4))
+        u_turn_hop = (
+            int(rng.integers(len(route) // 3, max(len(route) // 3 + 1, 2 * len(route) // 3)))
+            if u_turns_remaining
+            else -1
+        )
+
+        i = 0
+        visited_nodes = [route[0]]
+        while i < len(route) - 1:
+            u, v = route[i], route[i + 1]
+            edge = self.network.edge_between(u, v)
+            if edge is None:  # re-routing produced a stale hop; re-plan
+                _, rest = dijkstra(self.network, u, route[-1], weight=taste)
+                route = route[: i + 1] + rest[1:]
+                continue
+            if i == u_turn_hop:
+                t = self._drive_u_turn(
+                    waypoints, u_turns, edge, u, t, driver, congestion_scale, rng
+                )
+                # Re-plan from u as the driver corrects course.
+                _, rest = dijkstra(self.network, u, route[-1], weight=taste)
+                if len(rest) >= 2:
+                    route = route[: i + 1] + rest[1:]
+                u_turns_remaining -= 1
+                if u_turns_remaining > 0 and len(route) - i > 3:
+                    u_turn_hop = i + int(rng.integers(1, 3))
+                else:
+                    u_turn_hop = -1
+                continue
+            t = self._drive_edge(waypoints, edge, u, v, t, driver, congestion_scale, rng)
+            visited_nodes.append(v)
+            i += 1
+            # Forced stop at the intersection just reached (not the last).
+            if i < len(route) - 1 and rng.random() < self.traffic.stop_probability(t):
+                t = self._dwell(waypoints, stops, v, t, rng)
+
+        raw = self._sample(waypoints, rng, trajectory_id)
+        return SimulatedTrip(
+            raw, origin, route[-1], depart_time, visited_nodes, stops, u_turns
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _taste_weights(self, rng: np.random.Generator, depart_time: float):
+        """An anticipated-travel-time weight with per-trip taste noise.
+
+        Drivers plan with the congestion they expect at departure, so rush-
+        hour trips drift off the jammed arterials onto side streets while
+        night trips take the big roads — the time-dependent route mix that
+        the historical feature map (and Fig. 8) depends on.
+        """
+        # Day drivers detour around (perceived) jams, night drivers go
+        # straight: taste noise scales with congestion at departure.
+        noise = self.config.route_taste_noise * (
+            0.5 + 1.6 * self.traffic.congestion(depart_time)
+        )
+        cache: dict[int, float] = {}
+
+        def weight(edge: RoadEdge, src: NodeId, dst: NodeId) -> float:
+            factor = cache.get(edge.edge_id)
+            if factor is None:
+                factor = float(rng.uniform(1.0 - noise, 1.0 + noise)) if noise else 1.0
+                cache[edge.edge_id] = factor
+            expected = self.traffic.edge_speed_factor(depart_time, edge.grade)
+            speed_ms = edge.grade.free_flow_speed_kmh / 3.6 * expected
+            return factor * edge.length_m / speed_ms
+
+        return weight
+
+    def _speed_ms(
+        self,
+        edge: RoadEdge,
+        t: float,
+        driver: float,
+        congestion_scale: float,
+        rng: np.random.Generator,
+    ) -> float:
+        base = edge.grade.free_flow_speed_kmh / 3.6
+        jitter = float(rng.uniform(0.92, 1.08))
+        factor = self.traffic.edge_speed_factor(t, edge.grade, congestion_scale)
+        return max(1.5, base * factor * driver * jitter)
+
+    def _emit(self, waypoints: list[_Waypoint], node: NodeId, t: float) -> None:
+        x, y = self.network.projector.to_xy(self.network.node(node).point)
+        waypoints.append(_Waypoint(x, y, t))
+
+    def _drive_edge(
+        self,
+        waypoints: list[_Waypoint],
+        edge: RoadEdge,
+        u: NodeId,
+        v: NodeId,
+        t: float,
+        driver: float,
+        congestion_scale: float,
+        rng: np.random.Generator,
+    ) -> float:
+        speed = self._speed_ms(edge, t, driver, congestion_scale, rng)
+        t_end = t + edge.length_m / speed
+        if rng.random() < self.config.mid_edge_stop_probability:
+            # Stop halfway along the edge for a short errand.
+            ax, ay = self.network.projector.to_xy(self.network.node(u).point)
+            bx, by = self.network.projector.to_xy(self.network.node(v).point)
+            t_half = t + (edge.length_m / 2.0) / speed
+            waypoints.append(_Waypoint((ax + bx) / 2.0, (ay + by) / 2.0, t_half))
+            lo, hi = self.config.stop_duration_range
+            dwell = float(rng.uniform(lo, hi))
+            waypoints.append(_Waypoint((ax + bx) / 2.0, (ay + by) / 2.0, t_half + dwell))
+            t_end += dwell
+        self._emit(waypoints, v, t_end)
+        return t_end
+
+    def _dwell(
+        self,
+        waypoints: list[_Waypoint],
+        stops: list[StopEvent],
+        node: NodeId,
+        t: float,
+        rng: np.random.Generator,
+    ) -> float:
+        lo, hi = self.config.stop_duration_range
+        dwell = float(rng.uniform(lo, hi))
+        point = self.network.node(node).point
+        stops.append(StopEvent(point, t, t + dwell))
+        self._emit(waypoints, node, t + dwell)
+        return t + dwell
+
+    def _drive_u_turn(
+        self,
+        waypoints: list[_Waypoint],
+        u_turns: list[UTurnEvent],
+        edge: RoadEdge,
+        u: NodeId,
+        t: float,
+        driver: float,
+        congestion_scale: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Drive partway down *edge*, reverse, and return to *u*."""
+        v = edge.other_end(u)
+        ax, ay = self.network.projector.to_xy(self.network.node(u).point)
+        bx, by = self.network.projector.to_xy(self.network.node(v).point)
+        frac = float(rng.uniform(0.35, 0.65))
+        tx = ax + frac * (bx - ax)
+        ty = ay + frac * (by - ay)
+        speed = self._speed_ms(edge, t, driver, congestion_scale, rng)
+        out_time = frac * edge.length_m / speed
+        t_turn = t + out_time
+        waypoints.append(_Waypoint(tx, ty, t_turn))
+        u_turns.append(
+            UTurnEvent(self.network.projector.to_point(tx, ty), t_turn)
+        )
+        # Brief hesitation at the turn, then drive back.
+        t_back_start = t_turn + float(rng.uniform(3.0, 8.0))
+        waypoints.append(_Waypoint(tx, ty, t_back_start))
+        t_end = t_back_start + out_time
+        waypoints.append(_Waypoint(ax, ay, t_end))
+        return t_end
+
+    def _sample(
+        self, waypoints: list[_Waypoint], rng: np.random.Generator, trajectory_id: str
+    ) -> RawTrajectory:
+        """Emit GPS samples every ``sample_interval_s`` along the itinerary."""
+        if len(waypoints) < 2:
+            raise ConfigError("itinerary too short to sample")
+        interval = self.config.sample_interval_s
+        noise = self.config.gps_noise_m
+        projector = self.network.projector
+        samples: list[TrajectoryPoint] = []
+        t = waypoints[0].t
+        idx = 0
+        end_t = waypoints[-1].t
+        while t <= end_t:
+            while idx < len(waypoints) - 2 and waypoints[idx + 1].t <= t:
+                idx += 1
+            a, b = waypoints[idx], waypoints[idx + 1]
+            span = b.t - a.t
+            frac = 0.0 if span <= 0 else min(1.0, max(0.0, (t - a.t) / span))
+            x = a.x + frac * (b.x - a.x) + float(rng.normal(0.0, noise))
+            y = a.y + frac * (b.y - a.y) + float(rng.normal(0.0, noise))
+            samples.append(TrajectoryPoint(projector.to_point(x, y), t))
+            t += interval
+        # Always include the arrival point.
+        last = waypoints[-1]
+        if not samples or samples[-1].t < last.t:
+            x = last.x + float(rng.normal(0.0, noise))
+            y = last.y + float(rng.normal(0.0, noise))
+            samples.append(TrajectoryPoint(projector.to_point(x, y), last.t))
+        return RawTrajectory(samples, trajectory_id)

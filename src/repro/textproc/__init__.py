@@ -1,0 +1,20 @@
+"""Text processing over trajectory summaries (paper Sec. VI-C)."""
+
+from repro.textproc.tokenize import STOPWORDS, tokenize, tokenize_filtered
+from repro.textproc.tfidf import TfidfVectorizer, cosine_similarity_matrix
+from repro.textproc.cluster import KMeansResult, kmeans, top_terms
+from repro.textproc.index import InvertedIndex
+from repro.textproc.classify import NaiveBayesClassifier
+
+__all__ = [
+    "NaiveBayesClassifier",
+    "STOPWORDS",
+    "tokenize",
+    "tokenize_filtered",
+    "TfidfVectorizer",
+    "cosine_similarity_matrix",
+    "KMeansResult",
+    "kmeans",
+    "top_terms",
+    "InvertedIndex",
+]

@@ -1,0 +1,98 @@
+"""Multinomial naive-Bayes text categorization, from scratch (Sec. VI-C).
+
+The paper lists text categorization among the mature techniques that apply
+directly to trajectory summaries.  A classifier trained on labelled
+summaries (e.g. rush-hour vs. night trips, or congested vs. smooth) gives
+an operator automatic triage of incoming trajectories by their text alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+from repro.exceptions import ConfigError
+from repro.textproc.tokenize import tokenize_filtered
+
+Label = Hashable
+
+
+class NaiveBayesClassifier:
+    """Multinomial naive Bayes with Laplace smoothing over token counts."""
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing <= 0.0:
+            raise ConfigError("smoothing must be positive")
+        self._smoothing = smoothing
+        self._class_doc_counts: dict[Label, int] = {}
+        self._class_token_counts: dict[Label, dict[str, int]] = {}
+        self._class_total_tokens: dict[Label, int] = {}
+        self._vocabulary: set[str] = set()
+        self._total_docs = 0
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, documents: Sequence[str], labels: Sequence[Label]) -> "NaiveBayesClassifier":
+        """Train on parallel document/label sequences (re-fitting resets)."""
+        if len(documents) != len(labels):
+            raise ConfigError(
+                f"documents/labels mismatch: {len(documents)} vs {len(labels)}"
+            )
+        if not documents:
+            raise ConfigError("cannot fit a classifier on zero documents")
+        self._class_doc_counts = {}
+        self._class_token_counts = {}
+        self._class_total_tokens = {}
+        self._vocabulary = set()
+        self._total_docs = len(documents)
+        for text, label in zip(documents, labels):
+            self._class_doc_counts[label] = self._class_doc_counts.get(label, 0) + 1
+            slot = self._class_token_counts.setdefault(label, {})
+            for token in tokenize_filtered(text):
+                slot[token] = slot.get(token, 0) + 1
+                self._vocabulary.add(token)
+                self._class_total_tokens[label] = (
+                    self._class_total_tokens.get(label, 0) + 1
+                )
+        return self
+
+    @property
+    def classes(self) -> list[Label]:
+        return list(self._class_doc_counts)
+
+    # -- inference ---------------------------------------------------------------
+
+    def log_scores(self, text: str) -> dict[Label, float]:
+        """Unnormalized log-posterior per class."""
+        if not self._class_doc_counts:
+            raise ConfigError("classifier must be fitted before prediction")
+        tokens = tokenize_filtered(text)
+        vocab_size = max(1, len(self._vocabulary))
+        scores: dict[Label, float] = {}
+        for label, doc_count in self._class_doc_counts.items():
+            score = math.log(doc_count / self._total_docs)
+            token_counts = self._class_token_counts.get(label, {})
+            total = self._class_total_tokens.get(label, 0)
+            denominator = total + self._smoothing * vocab_size
+            for token in tokens:
+                count = token_counts.get(token, 0)
+                score += math.log((count + self._smoothing) / denominator)
+            scores[label] = score
+        return scores
+
+    def predict(self, text: str) -> Label:
+        """Most probable class for *text* (ties break deterministically)."""
+        scores = self.log_scores(text)
+        return max(sorted(scores, key=repr), key=lambda label: scores[label])
+
+    def predict_many(self, documents: Sequence[str]) -> list[Label]:
+        """Class per document."""
+        return [self.predict(doc) for doc in documents]
+
+    def accuracy(self, documents: Sequence[str], labels: Sequence[Label]) -> float:
+        """Fraction of *documents* classified as their true label."""
+        if not documents:
+            raise ConfigError("cannot score zero documents")
+        predictions = self.predict_many(documents)
+        hits = sum(1 for p, t in zip(predictions, labels) if p == t)
+        return hits / len(documents)

@@ -1,0 +1,102 @@
+"""K-means clustering (k-means++ initialization), from scratch.
+
+Sec. VI-C: "applying the text clustering method on summaries of all the
+trajectories in a certain region at a specific time period, we can have a
+quick overview about the traffic condition."  This module provides that
+clustering over TF-IDF vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class KMeansResult:
+    """Cluster labels, centroids, and the final inertia."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+    def members(self, cluster: int) -> list[int]:
+        """Indexes of documents in *cluster*."""
+        return [int(i) for i in np.flatnonzero(self.labels == cluster)]
+
+
+def _plus_plus_init(
+    matrix: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = matrix.shape[0]
+    centroids = np.empty((k, matrix.shape[1]))
+    first = int(rng.integers(0, n))
+    centroids[0] = matrix[first]
+    closest_sq = ((matrix - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = float(closest_sq.sum())
+        if total == 0.0:
+            # All points coincide with chosen centroids; pick arbitrarily.
+            centroids[j] = matrix[int(rng.integers(0, n))]
+            continue
+        probs = closest_sq / total
+        pick = int(rng.choice(n, p=probs))
+        centroids[j] = matrix[pick]
+        dist_sq = ((matrix - centroids[j]) ** 2).sum(axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centroids
+
+
+def kmeans(
+    matrix: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Empty clusters are re-seeded with the point farthest from its centroid,
+    so exactly *k* clusters always come back.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ConfigError("kmeans needs a non-empty 2-D matrix")
+    n = matrix.shape[0]
+    if not 1 <= k <= n:
+        raise ConfigError(f"k must lie in [1, {n}], got {k}")
+
+    centroids = _plus_plus_init(matrix, k, rng)
+    labels = np.zeros(n, dtype=int)
+    inertia = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        # Assign: squared Euclidean distance to each centroid.
+        dists = ((matrix[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = dists.argmin(axis=1)
+        new_inertia = float(dists[np.arange(n), labels].sum())
+        # Update.
+        for j in range(k):
+            members = matrix[labels == j]
+            if len(members) == 0:
+                farthest = int(dists[np.arange(n), labels].argmax())
+                centroids[j] = matrix[farthest]
+                labels[farthest] = j
+            else:
+                centroids[j] = members.mean(axis=0)
+        if abs(inertia - new_inertia) <= tolerance:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(labels, centroids, inertia, iteration)
+
+
+def top_terms(
+    centroid: np.ndarray, vocabulary: dict[str, int], n: int = 5
+) -> list[str]:
+    """The *n* highest-weight vocabulary terms of a centroid."""
+    inverse = {i: t for t, i in vocabulary.items()}
+    order = np.argsort(centroid)[::-1]
+    return [inverse[int(i)] for i in order[:n] if centroid[int(i)] > 0.0]

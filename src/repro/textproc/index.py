@@ -1,0 +1,80 @@
+"""Inverted index with ranked retrieval over summary texts (Sec. VI-C)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigError
+from repro.textproc.tokenize import tokenize_filtered
+
+
+class InvertedIndex:
+    """Classic inverted index with TF-IDF ranked search."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}  # term -> doc -> tf
+        self._doc_lengths: dict[str, int] = {}
+
+    def add(self, doc_id: str, text: str) -> None:
+        """Index one document; re-adding an id replaces it."""
+        if doc_id in self._doc_lengths:
+            self.remove(doc_id)
+        tokens = tokenize_filtered(text)
+        self._doc_lengths[doc_id] = len(tokens)
+        for token in tokens:
+            self._postings.setdefault(token, {}).setdefault(doc_id, 0)
+            self._postings[token][doc_id] += 1
+
+    def remove(self, doc_id: str) -> None:
+        """Drop a document from the index (no-op if absent)."""
+        if doc_id not in self._doc_lengths:
+            return
+        del self._doc_lengths[doc_id]
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(doc_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    def documents_with(self, term: str) -> set[str]:
+        """Ids of documents containing *term* (boolean lookup)."""
+        return set(self._postings.get(term.lower(), {}))
+
+    def search_all(self, query: str) -> set[str]:
+        """Boolean AND over the query terms."""
+        terms = tokenize_filtered(query)
+        if not terms:
+            return set()
+        result: set[str] | None = None
+        for term in terms:
+            docs = self.documents_with(term)
+            result = docs if result is None else result & docs
+            if not result:
+                return set()
+        return result or set()
+
+    def search_ranked(self, query: str, limit: int = 10) -> list[tuple[str, float]]:
+        """TF-IDF ranked retrieval: top *limit* ``(doc_id, score)`` pairs."""
+        if limit < 1:
+            raise ConfigError("limit must be at least 1")
+        terms = tokenize_filtered(query)
+        if not terms or not self._doc_lengths:
+            return []
+        n = self.document_count
+        scores: dict[str, float] = {}
+        for term in terms:
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = math.log((1 + n) / (1 + len(postings))) + 1.0
+            for doc_id, tf in postings.items():
+                weight = (tf / self._doc_lengths[doc_id]) * idf
+                scores[doc_id] = scores.get(doc_id, 0.0) + weight
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:limit]

@@ -1,0 +1,75 @@
+"""TF-IDF vectorization of summary texts, from scratch.
+
+Supports the Sec. VI-C claim that mature text-processing machinery applies
+directly to trajectory summaries: vectorize, then cluster or search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.textproc.tokenize import tokenize_filtered
+
+
+class TfidfVectorizer:
+    """Classic TF-IDF with smoothed IDF and L2-normalized rows."""
+
+    def __init__(
+        self,
+        tokenizer: Callable[[str], list[str]] = tokenize_filtered,
+        min_df: int = 1,
+    ) -> None:
+        if min_df < 1:
+            raise ConfigError("min_df must be at least 1")
+        self._tokenizer = tokenizer
+        self._min_df = min_df
+        self.vocabulary: dict[str, int] = {}
+        self.idf: np.ndarray | None = None
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights from *documents*."""
+        if not documents:
+            raise ConfigError("cannot fit a vectorizer on zero documents")
+        df: dict[str, int] = {}
+        for doc in documents:
+            for term in set(self._tokenizer(doc)):
+                df[term] = df.get(term, 0) + 1
+        terms = sorted(t for t, count in df.items() if count >= self._min_df)
+        self.vocabulary = {term: i for i, term in enumerate(terms)}
+        n = len(documents)
+        self.idf = np.array(
+            [1.0 + math.log((1 + n) / (1 + df[t])) for t in terms]
+        )
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Dense ``(n_docs, vocab)`` TF-IDF matrix with unit rows."""
+        if self.idf is None:
+            raise ConfigError("vectorizer must be fitted before transform")
+        matrix = np.zeros((len(documents), len(self.vocabulary)))
+        for row, doc in enumerate(documents):
+            tokens = self._tokenizer(doc)
+            if not tokens:
+                continue
+            for token in tokens:
+                col = self.vocabulary.get(token)
+                if col is not None:
+                    matrix[row, col] += 1.0
+            matrix[row] /= len(tokens)  # term frequency
+        matrix *= self.idf
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """:meth:`fit` then :meth:`transform` on the same documents."""
+        return self.fit(documents).transform(documents)
+
+
+def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities of L2-normalized rows."""
+    return matrix @ matrix.T

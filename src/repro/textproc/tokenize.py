@@ -1,0 +1,30 @@
+"""Tokenization for summary texts."""
+
+from __future__ import annotations
+
+import re
+
+#: Words too common in summaries to discriminate anything.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and at by for from in it most of on the then through to was
+    were which while with car moved started drivers prefer choose than
+    usual about total
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+)*")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased word tokens; hyphenated words (u-turn) stay together."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def tokenize_filtered(text: str) -> list[str]:
+    """Tokens with stopwords and bare numbers removed."""
+    return [
+        token
+        for token in tokenize(text)
+        if token not in STOPWORDS and not token.isdigit()
+    ]

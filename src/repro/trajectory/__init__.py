@@ -1,0 +1,75 @@
+"""Trajectory models, IO, metrics, and resampling."""
+
+from repro.trajectory.model import (
+    RawTrajectory,
+    SymbolicEntry,
+    SymbolicTrajectory,
+    TrajectoryPoint,
+    TrajectorySegment,
+)
+from repro.trajectory.io import (
+    format_timestamp,
+    load_trajectories_json,
+    parse_timestamp,
+    read_trajectory_csv,
+    save_trajectories_json,
+    trajectory_from_dict,
+    trajectory_to_dict,
+    write_trajectory_csv,
+)
+from repro.trajectory.metrics import (
+    average_speed_ms,
+    headings_deg,
+    instantaneous_speeds_ms,
+    median_sampling_interval_s,
+)
+from repro.trajectory.similarity import (
+    douglas_peucker,
+    dtw_distance,
+    euclidean_sync_distance,
+    hausdorff_distance,
+    lcss_similarity,
+)
+from repro.trajectory.geojson import (
+    network_to_geojson,
+    save_geojson,
+    summary_to_geojson,
+    trajectory_to_geojson,
+)
+from repro.trajectory.resample import (
+    downsample_by_distance,
+    downsample_by_time,
+    take_every,
+)
+
+__all__ = [
+    "TrajectoryPoint",
+    "RawTrajectory",
+    "SymbolicEntry",
+    "SymbolicTrajectory",
+    "TrajectorySegment",
+    "parse_timestamp",
+    "format_timestamp",
+    "read_trajectory_csv",
+    "write_trajectory_csv",
+    "trajectory_to_dict",
+    "trajectory_from_dict",
+    "save_trajectories_json",
+    "load_trajectories_json",
+    "instantaneous_speeds_ms",
+    "average_speed_ms",
+    "headings_deg",
+    "median_sampling_interval_s",
+    "euclidean_sync_distance",
+    "dtw_distance",
+    "lcss_similarity",
+    "hausdorff_distance",
+    "douglas_peucker",
+    "trajectory_to_geojson",
+    "network_to_geojson",
+    "summary_to_geojson",
+    "save_geojson",
+    "downsample_by_time",
+    "downsample_by_distance",
+    "take_every",
+]

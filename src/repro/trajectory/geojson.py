@@ -1,0 +1,121 @@
+"""GeoJSON export for trajectories, networks, and summaries.
+
+Everything a downstream user needs to drop the library's objects onto any
+standard web map (Leaflet, Kepler, geojson.io): trajectories as
+``LineString`` features with timestamps, road networks as styled
+``FeatureCollection``s, and summaries as the trajectory plus its mentioned
+landmarks with the summary sentences in the properties.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.landmarks import LandmarkIndex
+from repro.roadnet import RoadNetwork
+from repro.trajectory.model import RawTrajectory
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a trajectory <-> core cycle
+    from repro.core.types import TrajectorySummary
+
+
+def _line(coords: list[tuple[float, float]], properties: dict) -> dict:
+    return {
+        "type": "Feature",
+        "geometry": {"type": "LineString", "coordinates": coords},
+        "properties": properties,
+    }
+
+
+def _point(lon: float, lat: float, properties: dict) -> dict:
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Point", "coordinates": [lon, lat]},
+        "properties": properties,
+    }
+
+
+def trajectory_to_geojson(trajectory: RawTrajectory) -> dict:
+    """A trajectory as a single ``LineString`` feature.
+
+    Coordinates follow the GeoJSON convention (lon, lat); per-sample
+    timestamps ride along in ``properties.timestamps``.
+    """
+    coords = [(p.point.lon, p.point.lat) for p in trajectory]
+    return _line(
+        coords,
+        {
+            "trajectory_id": trajectory.trajectory_id,
+            "samples": len(trajectory),
+            "start_time": trajectory.start_time,
+            "end_time": trajectory.end_time,
+            "timestamps": [p.t for p in trajectory],
+        },
+    )
+
+
+def network_to_geojson(network: RoadNetwork) -> dict:
+    """The road network as a ``FeatureCollection`` of edge LineStrings."""
+    features = []
+    for edge in network.edges():
+        a = network.node(edge.u).point
+        b = network.node(edge.v).point
+        features.append(
+            _line(
+                [(a.lon, a.lat), (b.lon, b.lat)],
+                {
+                    "name": edge.name,
+                    "grade": int(edge.grade),
+                    "grade_name": edge.grade.display_name,
+                    "width_m": edge.width_m,
+                    "one_way": int(edge.direction) == 2,
+                },
+            )
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def summary_to_geojson(
+    trajectory: RawTrajectory,
+    summary: "TrajectorySummary",
+    landmarks: LandmarkIndex,
+) -> dict:
+    """A summary as a ``FeatureCollection``: the track plus its landmarks.
+
+    The trajectory feature carries the full summary text; every mentioned
+    landmark becomes a ``Point`` feature with its name, significance, and
+    the sentence of the partition it belongs to.
+    """
+    features = [trajectory_to_geojson(trajectory)]
+    features[0]["properties"]["summary"] = summary.text
+    by_name = {lm.name: lm for lm in landmarks}
+    emitted = set()
+    for partition in summary.partitions:
+        for role, name in (
+            ("source", partition.source_name),
+            ("destination", partition.destination_name),
+        ):
+            landmark = by_name.get(name)
+            if landmark is None or name in emitted:
+                continue
+            emitted.add(name)
+            features.append(
+                _point(
+                    landmark.point.lon,
+                    landmark.point.lat,
+                    {
+                        "name": name,
+                        "role": role,
+                        "significance": landmark.significance,
+                        "sentence": partition.sentence,
+                    },
+                )
+            )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def save_geojson(obj: dict, path: str | Path) -> None:
+    """Write any of the above structures to *path*."""
+    Path(path).write_text(json.dumps(obj), encoding="utf-8")

@@ -1,0 +1,120 @@
+"""Trajectory IO: the paper's table format (CSV) and JSON.
+
+The CSV layout mirrors Table I of the paper::
+
+    latitude,longitude,timestamp
+    39.9383,116.339,20131102 09:17:56
+
+Timestamps are parsed to epoch seconds (naive UTC); a plain numeric
+timestamp column is also accepted.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint
+from repro.trajectory.model import RawTrajectory, TrajectoryPoint
+
+_TIME_FORMAT = "%Y%m%d %H:%M:%S"
+
+
+def parse_timestamp(text: str) -> float:
+    """Parse a paper-style ``YYYYMMDD HH:MM:SS`` or numeric timestamp."""
+    text = text.strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        dt = datetime.strptime(text, _TIME_FORMAT).replace(tzinfo=timezone.utc)
+    except ValueError as exc:
+        raise TrajectoryError(f"unparseable timestamp: {text!r}") from exc
+    return dt.timestamp()
+
+
+def format_timestamp(t: float) -> str:
+    """Render epoch seconds in the paper's ``YYYYMMDD HH:MM:SS`` format."""
+    return datetime.fromtimestamp(t, tz=timezone.utc).strftime(_TIME_FORMAT)
+
+
+def read_trajectory_csv(path: str | Path, trajectory_id: str | None = None) -> RawTrajectory:
+    """Read one trajectory from a CSV file in the Table-I layout.
+
+    A header row is detected and skipped automatically.
+    """
+    path = Path(path)
+    points: list[TrajectoryPoint] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        for row_num, row in enumerate(csv.reader(handle), start=1):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if row_num == 1 and not _is_float(row[0]):
+                continue  # header
+            if len(row) < 3:
+                raise TrajectoryError(f"{path}:{row_num}: expected 3 columns, got {len(row)}")
+            try:
+                lat, lon = float(row[0]), float(row[1])
+            except ValueError as exc:
+                raise TrajectoryError(f"{path}:{row_num}: bad coordinates") from exc
+            points.append(TrajectoryPoint(GeoPoint(lat, lon), parse_timestamp(row[2])))
+    return RawTrajectory(points, trajectory_id or path.stem)
+
+
+def write_trajectory_csv(trajectory: RawTrajectory, path: str | Path) -> None:
+    """Write a trajectory as a Table-I-style CSV."""
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["latitude", "longitude", "timestamp"])
+        for sample in trajectory:
+            writer.writerow(
+                [f"{sample.point.lat:.6f}", f"{sample.point.lon:.6f}",
+                 format_timestamp(sample.t)]
+            )
+
+
+def trajectory_to_dict(trajectory: RawTrajectory) -> dict:
+    """JSON-compatible representation of a raw trajectory."""
+    return {
+        "id": trajectory.trajectory_id,
+        "points": [
+            {"lat": s.point.lat, "lon": s.point.lon, "t": s.t} for s in trajectory
+        ],
+    }
+
+
+def trajectory_from_dict(data: dict) -> RawTrajectory:
+    """Inverse of :func:`trajectory_to_dict`."""
+    try:
+        points = [
+            TrajectoryPoint(GeoPoint(p["lat"], p["lon"]), float(p["t"]))
+            for p in data["points"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise TrajectoryError(f"malformed trajectory dict: {exc}") from exc
+    return RawTrajectory(points, data.get("id", ""))
+
+
+def save_trajectories_json(trajectories: Iterable[RawTrajectory], path: str | Path) -> None:
+    """Write many trajectories into one JSON file."""
+    payload = [trajectory_to_dict(t) for t in trajectories]
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_trajectories_json(path: str | Path) -> list[RawTrajectory]:
+    """Read trajectories written by :func:`save_trajectories_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return [trajectory_from_dict(item) for item in payload]
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

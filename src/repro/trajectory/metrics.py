@@ -1,0 +1,68 @@
+"""Derived trajectory statistics: speeds, headings, sampling cadence."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geo import LocalProjector, bearing_deg
+from repro.trajectory.model import TrajectoryPoint
+
+
+def instantaneous_speeds_ms(
+    points: Sequence[TrajectoryPoint], projector: LocalProjector
+) -> list[float]:
+    """Per-gap speed (m/s) between consecutive samples.
+
+    Gaps with zero elapsed time contribute a speed of 0 rather than raising,
+    because duplicated timestamps do occur in real GPS feeds.
+    """
+    speeds = []
+    for a, b in zip(points, points[1:]):
+        dt = b.t - a.t
+        if dt <= 0.0:
+            speeds.append(0.0)
+        else:
+            speeds.append(projector.distance_m(a.point, b.point) / dt)
+    return speeds
+
+
+def average_speed_ms(
+    points: Sequence[TrajectoryPoint], projector: LocalProjector
+) -> float:
+    """Total distance over total elapsed time (m/s); 0 for degenerate input."""
+    if len(points) < 2:
+        return 0.0
+    elapsed = points[-1].t - points[0].t
+    if elapsed <= 0.0:
+        return 0.0
+    distance = sum(
+        projector.distance_m(a.point, b.point) for a, b in zip(points, points[1:])
+    )
+    return distance / elapsed
+
+
+def headings_deg(
+    points: Sequence[TrajectoryPoint], projector: LocalProjector,
+    min_step_m: float = 1.0,
+) -> list[float]:
+    """Per-gap travel bearings, skipping jitter steps shorter than *min_step_m*.
+
+    Tiny steps carry no directional information (pure GPS noise), so they are
+    filtered out before heading-based analyses such as U-turn detection.
+    """
+    out = []
+    for a, b in zip(points, points[1:]):
+        if projector.distance_m(a.point, b.point) >= min_step_m:
+            out.append(bearing_deg(a.point, b.point))
+    return out
+
+
+def median_sampling_interval_s(points: Sequence[TrajectoryPoint]) -> float:
+    """Median time gap between consecutive samples; 0 for degenerate input."""
+    gaps = sorted(b.t - a.t for a, b in zip(points, points[1:]))
+    if not gaps:
+        return 0.0
+    mid = len(gaps) // 2
+    if len(gaps) % 2 == 1:
+        return gaps[mid]
+    return (gaps[mid - 1] + gaps[mid]) / 2.0

@@ -1,0 +1,51 @@
+"""Trajectory resampling — used to model different sampling strategies.
+
+The paper (Sec. II-A, Fig. 2) argues that the same route recorded under
+different sampling strategies must yield the same summary.  These helpers
+let tests and experiments derive time- or distance-resampled variants of a
+trajectory to verify that invariance.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TrajectoryError
+from repro.geo import LocalProjector
+from repro.trajectory.model import RawTrajectory, TrajectoryPoint
+
+
+def downsample_by_time(trajectory: RawTrajectory, interval_s: float) -> RawTrajectory:
+    """Keep samples at least *interval_s* apart in time; endpoints retained."""
+    if interval_s <= 0.0:
+        raise TrajectoryError(f"interval must be positive, got {interval_s}")
+    kept = [trajectory[0]]
+    for sample in trajectory.points[1:-1]:
+        if sample.t - kept[-1].t >= interval_s:
+            kept.append(sample)
+    kept.append(trajectory[-1])
+    return RawTrajectory(kept, trajectory.trajectory_id)
+
+
+def downsample_by_distance(
+    trajectory: RawTrajectory, spacing_m: float, projector: LocalProjector
+) -> RawTrajectory:
+    """Keep samples at least *spacing_m* apart in space; endpoints retained."""
+    if spacing_m <= 0.0:
+        raise TrajectoryError(f"spacing must be positive, got {spacing_m}")
+    kept = [trajectory[0]]
+    for sample in trajectory.points[1:-1]:
+        if projector.distance_m(sample.point, kept[-1].point) >= spacing_m:
+            kept.append(sample)
+    kept.append(trajectory[-1])
+    return RawTrajectory(kept, trajectory.trajectory_id)
+
+
+def take_every(trajectory: RawTrajectory, stride: int) -> RawTrajectory:
+    """Keep every *stride*-th sample; endpoints retained."""
+    if stride < 1:
+        raise TrajectoryError(f"stride must be at least 1, got {stride}")
+    kept = list(trajectory.points[::stride])
+    if kept[-1] is not trajectory.points[-1]:
+        kept.append(trajectory.points[-1])
+    if len(kept) < 2:
+        kept = [trajectory.points[0], trajectory.points[-1]]
+    return RawTrajectory(kept, trajectory.trajectory_id)

@@ -1,0 +1,158 @@
+"""Classical trajectory similarity measures.
+
+The paper (Sec. IV-B) contrasts its feature-space similarity against the
+traditional spatial(-temporal) measures — Euclidean distance and LCSS —
+used throughout the related work.  This module implements those measures
+(plus DTW and Hausdorff) so the library can serve the comparison and so
+downstream users get a complete trajectory toolkit:
+
+* :func:`euclidean_sync_distance` — mean distance at synchronized sample
+  positions (requires equal lengths; resample first);
+* :func:`dtw_distance` — dynamic time warping over point sequences;
+* :func:`lcss_similarity` — longest common subsequence under a spatial
+  matching threshold, normalized to [0, 1];
+* :func:`hausdorff_distance` — the classic max-min set distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint, LocalProjector
+
+
+def _xy(points: Sequence[GeoPoint], projector: LocalProjector) -> list[tuple[float, float]]:
+    return [projector.to_xy(p) for p in points]
+
+
+def euclidean_sync_distance(
+    a: Sequence[GeoPoint], b: Sequence[GeoPoint], projector: LocalProjector
+) -> float:
+    """Mean pointwise distance between equally long point sequences."""
+    if len(a) != len(b):
+        raise TrajectoryError(
+            f"euclidean sync distance needs equal lengths: {len(a)} vs {len(b)}"
+        )
+    if not a:
+        raise TrajectoryError("cannot compare empty sequences")
+    return sum(projector.distance_m(p, q) for p, q in zip(a, b)) / len(a)
+
+
+def dtw_distance(
+    a: Sequence[GeoPoint], b: Sequence[GeoPoint], projector: LocalProjector
+) -> float:
+    """Dynamic-time-warping distance (sum of matched point distances).
+
+    Standard O(n·m) dynamic program with the three classic moves
+    (match, insert, delete), no warping window.
+    """
+    if not a or not b:
+        raise TrajectoryError("cannot compare empty sequences")
+    xa, xb = _xy(a, projector), _xy(b, projector)
+    inf = math.inf
+    prev = [inf] * (len(xb) + 1)
+    prev[0] = 0.0
+    for i in range(1, len(xa) + 1):
+        cur = [inf] * (len(xb) + 1)
+        for j in range(1, len(xb) + 1):
+            d = math.hypot(xa[i - 1][0] - xb[j - 1][0], xa[i - 1][1] - xb[j - 1][1])
+            cur[j] = d + min(prev[j - 1], prev[j], cur[j - 1])
+        prev = cur
+    return prev[len(xb)]
+
+
+def lcss_similarity(
+    a: Sequence[GeoPoint],
+    b: Sequence[GeoPoint],
+    projector: LocalProjector,
+    epsilon_m: float = 50.0,
+) -> float:
+    """LCSS similarity in [0, 1]: matched fraction of the shorter sequence.
+
+    Two samples match when they lie within *epsilon_m* of each other
+    (Vlachos et al.); the similarity is ``LCSS / min(|a|, |b|)``.
+    """
+    if epsilon_m <= 0.0:
+        raise TrajectoryError("epsilon must be positive")
+    if not a or not b:
+        raise TrajectoryError("cannot compare empty sequences")
+    xa, xb = _xy(a, projector), _xy(b, projector)
+    prev = [0] * (len(xb) + 1)
+    for i in range(1, len(xa) + 1):
+        cur = [0] * (len(xb) + 1)
+        for j in range(1, len(xb) + 1):
+            d = math.hypot(xa[i - 1][0] - xb[j - 1][0], xa[i - 1][1] - xb[j - 1][1])
+            if d <= epsilon_m:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[len(xb)] / min(len(xa), len(xb))
+
+
+def hausdorff_distance(
+    a: Sequence[GeoPoint], b: Sequence[GeoPoint], projector: LocalProjector
+) -> float:
+    """Symmetric Hausdorff distance between two point sets, in metres."""
+    if not a or not b:
+        raise TrajectoryError("cannot compare empty sequences")
+    xa, xb = _xy(a, projector), _xy(b, projector)
+
+    def directed(xs, ys):
+        worst = 0.0
+        for x in xs:
+            best = min(math.hypot(x[0] - y[0], x[1] - y[1]) for y in ys)
+            worst = max(worst, best)
+        return worst
+
+    return max(directed(xa, xb), directed(xb, xa))
+
+
+def douglas_peucker(
+    points: Sequence[GeoPoint],
+    tolerance_m: float,
+    projector: LocalProjector,
+) -> list[GeoPoint]:
+    """Douglas–Peucker polyline simplification.
+
+    Keeps the endpoints and every vertex farther than *tolerance_m* from
+    the simplified baseline; the workhorse for shrinking dense GPS traces
+    before storage or rendering.  Iterative (stack-based), so deep
+    recursion on long traces is not a concern.
+    """
+    if tolerance_m <= 0.0:
+        raise TrajectoryError("tolerance must be positive")
+    n = len(points)
+    if n < 3:
+        return list(points)
+    xy = _xy(points, projector)
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        ax, ay = xy[lo]
+        bx, by = xy[hi]
+        vx, vy = bx - ax, by - ay
+        seg_sq = vx * vx + vy * vy
+        worst = -1.0
+        worst_idx = -1
+        for i in range(lo + 1, hi):
+            px, py = xy[i]
+            if seg_sq == 0.0:
+                d = math.hypot(px - ax, py - ay)
+            else:
+                t = max(0.0, min(1.0, ((px - ax) * vx + (py - ay) * vy) / seg_sq))
+                d = math.hypot(px - (ax + t * vx), py - (ay + t * vy))
+            if d > worst:
+                worst = d
+                worst_idx = i
+        if worst > tolerance_m:
+            keep[worst_idx] = True
+            stack.append((lo, worst_idx))
+            stack.append((worst_idx, hi))
+    return [p for p, k in zip(points, keep) if k]

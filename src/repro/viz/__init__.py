@@ -1,0 +1,5 @@
+"""Terminal visualization of trajectories and summaries."""
+
+from repro.viz.ascii_map import AsciiCanvas, render_summary_map, render_trajectory
+
+__all__ = ["AsciiCanvas", "render_trajectory", "render_summary_map"]

@@ -1,0 +1,110 @@
+"""ASCII rendering of the city, trajectories, and summaries.
+
+A terminal-native stand-in for the paper's map figures (Fig. 1(a), Fig. 6):
+roads render as a faint grid, the trajectory as a bold track, and the
+landmarks the summary mentions as lettered markers with a legend.  Used by
+the CLI demo and handy for debugging calibration and partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GeometryError
+from repro.geo import BoundingBox, GeoPoint, resample_polyline
+from repro.roadnet import RoadNetwork
+from repro.trajectory import RawTrajectory
+
+_ROAD_CHAR = "."
+_MAJOR_CHAR = ":"
+_TRACK_CHAR = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class AsciiCanvas:
+    """A rendered character grid plus its legend lines."""
+
+    rows: list[str]
+    legend: list[str]
+
+    def text(self) -> str:
+        return "\n".join(self.rows + self.legend)
+
+
+class _Grid:
+    def __init__(self, bbox: BoundingBox, width: int, height: int) -> None:
+        if width < 10 or height < 5:
+            raise GeometryError("canvas too small to render anything useful")
+        self.bbox = bbox
+        self.width = width
+        self.height = height
+        self.cells = [[" "] * width for _ in range(height)]
+
+    def plot(self, point: GeoPoint, char: str, overwrite: bool = True) -> None:
+        lat_span = self.bbox.max_lat - self.bbox.min_lat or 1e-9
+        lon_span = self.bbox.max_lon - self.bbox.min_lon or 1e-9
+        col = int((point.lon - self.bbox.min_lon) / lon_span * (self.width - 1))
+        row = int((self.bbox.max_lat - point.lat) / lat_span * (self.height - 1))
+        if 0 <= row < self.height and 0 <= col < self.width:
+            if overwrite or self.cells[row][col] == " ":
+                self.cells[row][col] = char
+
+    def rows(self) -> list[str]:
+        return ["".join(row) for row in self.cells]
+
+
+def render_trajectory(
+    network: RoadNetwork,
+    trajectory: RawTrajectory,
+    mentioned: list[tuple[str, GeoPoint]] | None = None,
+    width: int = 72,
+    height: int = 28,
+    margin_deg: float = 0.002,
+) -> AsciiCanvas:
+    """Render *trajectory* over the road network around its extent.
+
+    *mentioned* pairs (name, location) — typically the summary's landmarks
+    — are drawn as letters ``A, B, C, ...`` with a legend.
+    """
+    bbox = trajectory.bounding_box().expanded(margin_deg)
+    grid = _Grid(bbox, width, height)
+    projector = network.projector
+
+    # Roads: sample each edge inside the viewport.
+    for edge in network.edges():
+        a = network.node(edge.u).point
+        b = network.node(edge.v).point
+        edge_box = BoundingBox.from_points([a, b])
+        if not bbox.intersects(edge_box):
+            continue
+        char = _MAJOR_CHAR if int(edge.grade) <= 2 else _ROAD_CHAR
+        for p in resample_polyline([a, b], 60.0, projector):
+            grid.plot(p, char, overwrite=False)
+
+    # The trajectory track.
+    for p in resample_polyline(trajectory.coordinates(), 40.0, projector):
+        grid.plot(p, _TRACK_CHAR)
+
+    # Mentioned landmarks, lettered in order.
+    legend = []
+    for i, (name, location) in enumerate(mentioned or []):
+        letter = chr(ord("A") + i % 26)
+        grid.plot(location, letter)
+        legend.append(f"  {letter} = {name}")
+    if legend:
+        legend.insert(0, "landmarks:")
+    return AsciiCanvas(grid.rows(), legend)
+
+
+def render_summary_map(scenario_network, trajectory, summary, landmarks) -> AsciiCanvas:
+    """Convenience wrapper: render a trajectory with its summary landmarks."""
+    seen: list[tuple[str, GeoPoint]] = []
+    names_seen = set()
+    for name in summary.mentioned_landmark_names():
+        if name in names_seen:
+            continue
+        names_seen.add(name)
+        match = next((lm for lm in landmarks if lm.name == name), None)
+        if match is not None:
+            seen.append((name, match.point))
+    return render_trajectory(scenario_network, trajectory, mentioned=seen)

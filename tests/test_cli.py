@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.simulate import CityScenario, ScenarioConfig
+from repro.trajectory import write_trajectory_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.seed == 7
+        assert args.hour == 8.5
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig9"])
+        assert args.figure == "fig9"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_demo_prints_summaries(self, capsys):
+        code = main(["--training", "40", "demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k = 1:" in out and "k = 3:" in out
+        assert "The car started from" in out
+
+    def test_summarize_csv(self, tmp_path, capsys):
+        # Produce a CSV from the same seed the CLI will rebuild.
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, path)
+        code = main(["--training", "40", "summarize", str(path), "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "The car started from" in out
+
+    def test_train_then_summarize_with_model(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert main(["--training", "40", "train", "--out", str(model_path)]) == 0
+        assert model_path.exists()
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=11 * 3600.0)
+        csv_path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, csv_path)
+        capsys.readouterr()
+        code = main(["summarize", str(csv_path), "--model", str(model_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "The car started from" in out
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,trajectory\n")
+        code = main(["--training", "40", "summarize", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err

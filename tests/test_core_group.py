@@ -1,0 +1,95 @@
+"""Tests for trajectory-group summarization (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupSummarizer
+from repro.exceptions import SummarizationError
+from repro.simulate import TripConfig, TripSimulator
+
+
+@pytest.fixture(scope="module")
+def flow(scenario):
+    """A rush-hour flow: 8 trips over the same OD pair."""
+    rng = np.random.default_rng(404)
+    origin, destination = scenario.fleet.sample_od(rng)
+    simulator = TripSimulator(
+        scenario.network, scenario.traffic, TripConfig(u_turn_probability=0.0)
+    )
+    trips = [
+        simulator.simulate(origin, destination, 8 * 3600.0, rng, f"flow-{i}")
+        for i in range(8)
+    ]
+    return origin, destination, trips
+
+
+class TestGroupSummarizer:
+    def test_outlier_factor_validated(self, scenario):
+        with pytest.raises(SummarizationError):
+            GroupSummarizer(scenario.stmaker, outlier_factor=1.0)
+
+    def test_too_few_members_rejected(self, scenario, flow):
+        _, _, trips = flow
+        summarizer = GroupSummarizer(scenario.stmaker)
+        with pytest.raises(SummarizationError):
+            summarizer.summarize_group([trips[0].raw])
+
+    def test_group_summary_shape(self, scenario, flow):
+        _, _, trips = flow
+        summary = GroupSummarizer(scenario.stmaker).summarize_group(
+            [t.raw for t in trips]
+        )
+        assert summary.member_count == 8
+        assert 0.0 < summary.consensus_share <= 1.0
+        assert summary.text.startswith("Between the ")
+        assert "eight cars travelled" in summary.text
+        assert summary.source_name and summary.destination_name
+
+    def test_aggregates_cover_registry(self, scenario, flow):
+        _, _, trips = flow
+        summary = GroupSummarizer(scenario.stmaker).summarize_group(
+            [t.raw for t in trips]
+        )
+        keys = {a.key for a in summary.aggregated}
+        assert keys == set(scenario.registry.keys())
+
+    def test_selected_respect_threshold(self, scenario, flow):
+        _, _, trips = flow
+        summary = GroupSummarizer(scenario.stmaker).summarize_group(
+            [t.raw for t in trips]
+        )
+        threshold = scenario.stmaker.config.irregular_threshold
+        for assessment in summary.selected:
+            assert assessment.irregular_rate >= threshold
+
+    def test_u_turn_member_flagged_as_outlier(self, scenario, flow):
+        origin, destination, trips = flow
+        # Add one lost driver to the flow.
+        rng = np.random.default_rng(405)
+        lost_sim = TripSimulator(
+            scenario.network, scenario.traffic, TripConfig(u_turn_probability=1.0)
+        )
+        lost = lost_sim.simulate(origin, destination, 8 * 3600.0, rng, "lost-cab")
+        summary = GroupSummarizer(scenario.stmaker).summarize_group(
+            [t.raw for t in trips] + [lost.raw]
+        )
+        assert "lost-cab" in summary.outliers
+        assert "deviated notably" in summary.text
+
+    def test_homogeneous_night_flow_few_outliers(self, scenario):
+        rng = np.random.default_rng(406)
+        origin, destination = scenario.fleet.sample_od(rng)
+        simulator = TripSimulator(
+            scenario.network, scenario.traffic,
+            TripConfig(u_turn_probability=0.0, mid_edge_stop_probability=0.0),
+        )
+        trips = [
+            simulator.simulate(origin, destination, 2 * 3600.0, rng, f"night-{i}")
+            for i in range(6)
+        ]
+        summary = GroupSummarizer(scenario.stmaker).summarize_group(
+            [t.raw for t in trips]
+        )
+        assert len(summary.outliers) <= 2
+        # Night flows are calm: high route consensus.
+        assert summary.consensus_share >= 0.5

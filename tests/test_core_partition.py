@@ -1,0 +1,138 @@
+"""Tests for the partition dynamic programs, incl. brute-force equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    brute_force_k_partition,
+    optimal_k_partition,
+    optimal_partition,
+    partition_potential,
+    spans_from_boundaries,
+)
+from repro.core.types import PartitionSpan
+from repro.exceptions import PartitionError
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestSpans:
+    def test_span_validation(self):
+        with pytest.raises(PartitionError):
+            PartitionSpan(-1, 0)
+        with pytest.raises(PartitionError):
+            PartitionSpan(3, 2)
+
+    def test_span_landmark_indexes(self):
+        span = PartitionSpan(2, 4)
+        assert span.start_landmark_index == 2
+        assert span.end_landmark_index == 5
+        assert span.segment_count == 3
+
+    def test_spans_from_boundaries(self):
+        spans = spans_from_boundaries(5, [1, 3])
+        assert spans == [PartitionSpan(0, 1), PartitionSpan(2, 3), PartitionSpan(4, 4)]
+
+    def test_spans_no_boundaries(self):
+        assert spans_from_boundaries(4, []) == [PartitionSpan(0, 3)]
+
+    def test_spans_bad_boundary(self):
+        with pytest.raises(PartitionError):
+            spans_from_boundaries(3, [2])  # junction 2 does not exist for 3 segs
+
+
+class TestOptimalPartition:
+    def test_cut_where_boundary_beats_similarity(self):
+        # Junction 0: boundary 0.9 > similarity 0.3 -> cut.
+        # Junction 1: boundary 0.1 < similarity 0.8 -> merge.
+        spans = optimal_partition([0.3, 0.8], [0.9, 0.1])
+        assert spans == [PartitionSpan(0, 0), PartitionSpan(1, 2)]
+
+    def test_single_segment(self):
+        assert optimal_partition([], []) == [PartitionSpan(0, 0)]
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(PartitionError):
+            optimal_partition([0.5], [])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(unit_floats, unit_floats), min_size=0, max_size=10))
+    def test_is_global_minimum(self, pairs):
+        similarities = [s for s, _ in pairs]
+        boundaries = [b for _, b in pairs]
+        n = len(pairs) + 1
+        best = optimal_partition(similarities, boundaries)
+        score = partition_potential(best, similarities, boundaries)
+        # Compare against every possible partition (2^(n-1) of them).
+        import itertools
+
+        for r in range(n):
+            for cuts in itertools.combinations(range(n - 1), r):
+                spans = spans_from_boundaries(n, cuts)
+                assert score <= partition_potential(spans, similarities, boundaries) + 1e-12
+
+
+class TestKPartition:
+    def test_exact_count(self):
+        spans = optimal_k_partition([0.5, 0.5, 0.5], [0.1, 0.9, 0.2], k=2)
+        assert len(spans) == 2
+        # The single cut goes to the junction with the best margin (index 1).
+        assert spans == [PartitionSpan(0, 1), PartitionSpan(2, 3)]
+
+    def test_k_one_is_whole_trajectory(self):
+        spans = optimal_k_partition([0.2, 0.9], [0.8, 0.1], k=1)
+        assert spans == [PartitionSpan(0, 2)]
+
+    def test_k_equals_segments(self):
+        spans = optimal_k_partition([0.2, 0.9], [0.8, 0.1], k=3)
+        assert spans == [PartitionSpan(0, 0), PartitionSpan(1, 1), PartitionSpan(2, 2)]
+
+    def test_invalid_k(self):
+        with pytest.raises(PartitionError):
+            optimal_k_partition([0.5], [0.5], k=0)
+        with pytest.raises(PartitionError):
+            optimal_k_partition([0.5], [0.5], k=3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(unit_floats, unit_floats), min_size=1, max_size=9),
+        st.data(),
+    )
+    def test_matches_brute_force(self, pairs, data):
+        similarities = [s for s, _ in pairs]
+        boundaries = [b for _, b in pairs]
+        n = len(pairs) + 1
+        k = data.draw(st.integers(min_value=1, max_value=n))
+        dp = optimal_k_partition(similarities, boundaries, k)
+        brute = brute_force_k_partition(similarities, boundaries, k)
+        assert len(dp) == k
+        dp_score = partition_potential(dp, similarities, boundaries)
+        brute_score = partition_potential(brute, similarities, boundaries)
+        assert dp_score == pytest.approx(brute_score, abs=1e-9)
+
+    def test_unconstrained_never_beats_constrained(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            sims = rng.uniform(0, 1, n - 1).tolist()
+            bounds = rng.uniform(0, 1, n - 1).tolist()
+            free = optimal_partition(sims, bounds)
+            free_score = partition_potential(free, sims, bounds)
+            forced = optimal_k_partition(sims, bounds, k=len(free))
+            forced_score = partition_potential(forced, sims, bounds)
+            assert forced_score == pytest.approx(free_score, abs=1e-9)
+
+
+class TestPartitionPotential:
+    def test_rejects_non_covering_spans(self):
+        with pytest.raises(PartitionError):
+            partition_potential([PartitionSpan(0, 0)], [0.5], [0.5])
+
+    def test_value(self):
+        # One cut at junction 0: potential = -b0 - s1.
+        spans = spans_from_boundaries(3, [0])
+        assert partition_potential(spans, [0.3, 0.6], [0.9, 0.1]) == pytest.approx(
+            -0.9 - 0.6
+        )

@@ -1,0 +1,137 @@
+"""Integration tests for FeatureSelector internals on the scenario."""
+
+import numpy as np
+import pytest
+
+from repro.core import SummarizerConfig
+from repro.core.types import PartitionSpan
+from repro.features import (
+    GRADE_OF_ROAD,
+    ROAD_WIDTH,
+    SPEED,
+    STAY_POINTS,
+    FeatureDefinition,
+    FeatureDtype,
+    FeatureKind,
+    FeatureRegistry,
+    default_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def assessed(scenario):
+    """A calibrated trip with its whole-trip assessment."""
+    rng = np.random.default_rng(71)
+    trip = scenario.simulate_trips(1, depart_time=8 * 3600.0, rng=rng)[0]
+    symbolic = scenario.stmaker.calibrator.calibrate(trip.raw)
+    features = scenario.stmaker.pipeline.extract(trip.raw, symbolic)
+    span = PartitionSpan(0, symbolic.segment_count - 1)
+    assessment = scenario.stmaker.selector.assess(symbolic, features, span)
+    return trip, symbolic, features, assessment
+
+
+class TestAssessmentStructure:
+    def test_one_assessment_per_feature(self, scenario, assessed):
+        _, _, _, assessment = assessed
+        keys = [a.key for a in assessment.assessments]
+        assert keys == scenario.registry.keys()
+
+    def test_rates_non_negative(self, assessed):
+        _, _, _, assessment = assessed
+        assert all(a.irregular_rate >= 0.0 for a in assessment.assessments)
+
+    def test_selection_subset(self, scenario, assessed):
+        _, _, _, assessment = assessed
+        threshold = scenario.stmaker.config.irregular_threshold
+        selected_keys = {a.key for a in assessment.selected}
+        for a in assessment.assessments:
+            assert (a.key in selected_keys) == (a.irregular_rate >= threshold)
+
+    def test_grade_extras_present(self, assessed):
+        _, _, _, assessment = assessed
+        grade = next(a for a in assessment.assessments if a.key == GRADE_OF_ROAD)
+        assert "observed_road_name" in grade.extras
+        assert "observed_grade" in grade.extras
+
+    def test_speed_representative_reasonable(self, assessed):
+        _, _, _, assessment = assessed
+        speed = next(a for a in assessment.assessments if a.key == SPEED)
+        assert 3.0 < speed.observed < 120.0
+        assert 3.0 < speed.regular < 120.0
+
+    def test_stay_counts_are_totals(self, assessed, scenario):
+        _, _, features, assessment = assessed
+        stay = next(a for a in assessment.assessments if a.key == STAY_POINTS)
+        expected = sum(f.values[STAY_POINTS] for f in features)
+        assert stay.observed == pytest.approx(expected)
+
+
+class TestWeightsInSelection:
+    def test_zero_weight_kills_selection(self, scenario, assessed):
+        trip, symbolic, features, _ = assessed
+        muted = scenario.summarizer_with(
+            SummarizerConfig(feature_weights={SPEED: 0.0, ROAD_WIDTH: 0.0})
+        )
+        span = PartitionSpan(0, symbolic.segment_count - 1)
+        assessment = muted.selector.assess(symbolic, features, span)
+        for a in assessment.assessments:
+            if a.key in (SPEED, ROAD_WIDTH):
+                assert a.irregular_rate == 0.0
+                assert a not in assessment.selected
+
+
+class TestCustomRoutingHopValue:
+    def test_hop_value_hook_feeds_regular_sequence(self, scenario):
+        """A custom routing feature with hop_value gets a real comparison."""
+        rng = np.random.default_rng(72)
+        trip = scenario.simulate_trips(1, rng=rng)[0]
+
+        definitions = list(default_registry())
+        definitions.append(
+            FeatureDefinition(
+                "free_flow", "FF", FeatureKind.ROUTING, FeatureDtype.NUMERIC,
+                extractor=lambda ctx: ctx.routing.grade.free_flow_speed_kmh,
+                hop_value=lambda hop: hop.grade.free_flow_speed_kmh,
+            )
+        )
+        registry = FeatureRegistry(definitions)
+        from repro.core import STMaker
+
+        stmaker = STMaker(
+            scenario.network, scenario.landmarks,
+            scenario.stmaker.transfers, scenario.stmaker.feature_map,
+            registry=registry,
+        )
+        summary = stmaker.summarize(trip.raw, k=1)
+        ff = next(
+            a for p in summary.partitions for a in p.assessments
+            if a.key == "free_flow"
+        )
+        # Regular comes from the hop_value hook (a plausible km/h figure),
+        # not the 0.0 placeholder for hook-less customs.
+        assert ff.regular > 0.0
+
+    def test_custom_routing_without_hook_never_selected(self, scenario):
+        rng = np.random.default_rng(73)
+        trip = scenario.simulate_trips(1, rng=rng)[0]
+        definitions = list(default_registry())
+        definitions.append(
+            FeatureDefinition(
+                "mystery", "M", FeatureKind.ROUTING, FeatureDtype.NUMERIC,
+                extractor=lambda ctx: 42.0,
+            )
+        )
+        registry = FeatureRegistry(definitions)
+        from repro.core import STMaker
+
+        stmaker = STMaker(
+            scenario.network, scenario.landmarks,
+            scenario.stmaker.transfers, scenario.stmaker.feature_map,
+            registry=registry,
+        )
+        summary = stmaker.summarize(trip.raw, k=1)
+        mystery = next(
+            a for p in summary.partitions for a in p.assessments
+            if a.key == "mystery"
+        )
+        assert mystery.irregular_rate == 0.0

@@ -1,0 +1,126 @@
+"""Tests for the irregular-rate measures (Sec. V-A / V-B) in isolation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    moving_irregular_rate,
+    routing_feature_distance,
+    routing_irregular_rate,
+)
+from repro.exceptions import FeatureError
+from repro.features import FeatureDtype
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=0, max_size=8
+)
+categories = st.lists(st.sampled_from([1.0, 2.0, 3.0, 7.0]), min_size=0, max_size=8)
+
+
+class TestRoutingDistance:
+    def test_empty_sequences(self):
+        assert routing_feature_distance([], [], FeatureDtype.NUMERIC) == 0.0
+        assert routing_feature_distance([1.0], [], FeatureDtype.NUMERIC) == 1.0
+        assert routing_feature_distance([], [1.0, 2.0], FeatureDtype.NUMERIC) == 2.0
+
+    def test_identical_sequences_zero(self):
+        seq = [1.0, 2.0, 3.0]
+        assert routing_feature_distance(seq, seq, FeatureDtype.NUMERIC) == 0.0
+        assert routing_feature_distance(seq, seq, FeatureDtype.CATEGORICAL) == 0.0
+
+    def test_categorical_substitution_costs_one(self):
+        assert routing_feature_distance([1.0], [2.0], FeatureDtype.CATEGORICAL) == 1.0
+
+    def test_numeric_substitution_costs_difference(self):
+        assert routing_feature_distance([0.3], [0.5], FeatureDtype.NUMERIC) == pytest.approx(0.2)
+
+    def test_length_mismatch_pays_indel(self):
+        d = routing_feature_distance([1.0, 1.0, 1.0], [1.0], FeatureDtype.CATEGORICAL)
+        assert d == 2.0
+
+    def test_classic_edit_distance_reduction(self):
+        # With categorical costs this is plain Levenshtein.
+        a = [1.0, 2.0, 3.0]  # "abc"
+        b = [2.0, 3.0, 4.0]  # "bcd"
+        assert routing_feature_distance(a, b, FeatureDtype.CATEGORICAL) == 2.0
+
+    @given(categories, categories)
+    def test_symmetry_and_bounds(self, a, b):
+        d = routing_feature_distance(a, b, FeatureDtype.CATEGORICAL)
+        assert d == routing_feature_distance(b, a, FeatureDtype.CATEGORICAL)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(categories, categories, categories)
+    def test_triangle_inequality(self, a, b, c):
+        dab = routing_feature_distance(a, b, FeatureDtype.CATEGORICAL)
+        dbc = routing_feature_distance(b, c, FeatureDtype.CATEGORICAL)
+        dac = routing_feature_distance(a, c, FeatureDtype.CATEGORICAL)
+        assert dac <= dab + dbc + 1e-9
+
+
+class TestRoutingIrregularRate:
+    def test_identical_routes_zero(self):
+        rate = routing_irregular_rate(
+            [1.0, 1.0], [1.0, 1.0], FeatureDtype.CATEGORICAL, weight=1.0
+        )
+        assert rate == 0.0
+
+    def test_completely_different_categorical_is_one(self):
+        rate = routing_irregular_rate(
+            [1.0, 1.0], [2.0, 2.0], FeatureDtype.CATEGORICAL, weight=1.0
+        )
+        assert rate == 1.0
+
+    def test_weight_scales_rate(self):
+        base = routing_irregular_rate([1.0], [2.0], FeatureDtype.CATEGORICAL, 1.0)
+        double = routing_irregular_rate([1.0], [2.0], FeatureDtype.CATEGORICAL, 2.0)
+        assert double == pytest.approx(2 * base)
+
+    def test_numeric_normalization_is_per_sequence(self):
+        # Same shape at different scales: normalized sequences coincide.
+        rate = routing_irregular_rate(
+            [10.0, 20.0], [1.0, 2.0], FeatureDtype.NUMERIC, weight=1.0
+        )
+        assert rate == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_both_zero(self):
+        assert routing_irregular_rate([], [], FeatureDtype.NUMERIC, 1.0) == 0.0
+
+    @given(values, values)
+    def test_categorical_rate_bounded_by_weight(self, a, b):
+        rate = routing_irregular_rate(a, b, FeatureDtype.CATEGORICAL, weight=1.0)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestMovingIrregularRate:
+    def test_matching_behaviour_zero(self):
+        assert moving_irregular_rate([5.0, 5.0], [5.0, 5.0], 1.0) == 0.0
+
+    def test_mismatch_positive(self):
+        rate = moving_irregular_rate([10.0], [20.0], 1.0)
+        assert rate == pytest.approx(1.0)  # |10 - 20| / 10
+
+    def test_zero_observed_is_never_irregular(self):
+        # Absence of behaviour is not reported (see selection.py docstring):
+        # with nothing observed, there is nothing to normalize against.
+        assert moving_irregular_rate([0.0, 0.0], [1.0, 1.0], 1.0) == 0.0
+
+    def test_all_zero_everywhere(self):
+        assert moving_irregular_rate([0.0], [0.0], 1.0) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FeatureError):
+            moving_irregular_rate([1.0], [1.0, 2.0], 1.0)
+
+    def test_weight_scales(self):
+        assert moving_irregular_rate([1.0], [2.0], 3.0) == pytest.approx(
+            3 * moving_irregular_rate([1.0], [2.0], 1.0)
+        )
+
+    def test_empty(self):
+        assert moving_irregular_rate([], [], 1.0) == 0.0
+
+    @given(values)
+    def test_self_comparison_zero(self, seq):
+        assert moving_irregular_rate(seq, list(seq), 1.0) == 0.0

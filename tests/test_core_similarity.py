@@ -1,0 +1,73 @@
+"""Tests for the Eq. 3 weighted cosine similarity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import segment_similarities, weighted_cosine_similarity
+from repro.exceptions import FeatureError
+
+vec3 = st.lists(
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=3, max_size=3
+)
+weights3 = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestWeightedCosine:
+    def test_identical_vectors(self):
+        assert weighted_cosine_similarity([1, 2, 3], [1, 2, 3], [1, 1, 1]) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        assert weighted_cosine_similarity([1, 0], [-1, 0], [1, 1]) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        assert weighted_cosine_similarity([1, 0], [0, 1], [1, 1]) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        a = weighted_cosine_similarity([1, 2], [2, 1], [1, 1])
+        b = weighted_cosine_similarity([10, 20], [2, 1], [1, 1])
+        assert a == pytest.approx(b)
+
+    def test_zero_weight_removes_dimension(self):
+        # With weight 0 on the second axis the vectors become parallel.
+        s = weighted_cosine_similarity([1, 5], [1, -5], [1, 0])
+        assert s == pytest.approx(1.0)
+
+    def test_both_zero_vectors_are_identical(self):
+        assert weighted_cosine_similarity([0, 0], [0, 0], [1, 1]) == 1.0
+
+    def test_one_zero_vector_is_neutral(self):
+        assert weighted_cosine_similarity([0, 0], [1, 1], [1, 1]) == 0.5
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(FeatureError):
+            weighted_cosine_similarity([1], [1, 2], [1, 1])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(FeatureError):
+            weighted_cosine_similarity([1], [1], [-1])
+
+    @given(vec3, vec3, weights3)
+    def test_range_and_symmetry(self, u, v, w):
+        s = weighted_cosine_similarity(u, v, w)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(weighted_cosine_similarity(v, u, w))
+
+    @given(vec3, weights3)
+    def test_self_similarity_is_max(self, u, w):
+        s = weighted_cosine_similarity(u, u, w)
+        assert s == pytest.approx(1.0)
+
+
+class TestSegmentSimilarities:
+    def test_pairwise_count(self):
+        vectors = [[1, 0], [1, 0], [0, 1]]
+        sims = segment_similarities(vectors, [1, 1])
+        assert len(sims) == 2
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[1] == pytest.approx(0.5)
+
+    def test_single_vector(self):
+        assert segment_similarities([[1, 2]], [1, 1]) == []

@@ -1,0 +1,111 @@
+"""Tests for semantic queries over summary collections."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeaturePredicate, SummaryStore
+from repro.core.types import (
+    FeatureAssessment,
+    PartitionSpan,
+    PartitionSummary,
+    TrajectorySummary,
+)
+from repro.exceptions import ConfigError
+from repro.features import SPEED, U_TURNS, FeatureKind
+
+
+def make_summary(tid, selected, names=("A", "B"), text=None):
+    assessments = [
+        FeatureAssessment(key, FeatureKind.MOVING, value, 0.0, 0.5)
+        for key, value in selected
+    ]
+    text = text or f"The car moved from the {names[0]} to the {names[1]}."
+    partition = PartitionSummary(
+        PartitionSpan(0, 0), names[0], names[1], assessments, assessments, text
+    )
+    return TrajectorySummary(tid, text, [partition])
+
+
+@pytest.fixture()
+def store():
+    s = SummaryStore()
+    s.add(make_summary("t1", [(SPEED, 20.0)], names=("Mall", "Park"),
+                       text="slow trip with the speed of 20 km/h slower than usual"))
+    s.add(make_summary("t2", [(U_TURNS, 2.0)], names=("Park", "Station"),
+                       text="with conducting two U-turns at the Park"))
+    s.add(make_summary("t3", [(SPEED, 80.0)], names=("Mall", "Station"),
+                       text="fast smooth trip faster than usual"))
+    s.add(make_summary("t4", [], names=("Depot", "Mall"), text="moved smoothly"))
+    return s
+
+
+class TestStoreBasics:
+    def test_len_contains_get(self, store):
+        assert len(store) == 4
+        assert "t2" in store and "tx" not in store
+        assert store.get("t3").trajectory_id == "t3"
+        with pytest.raises(ConfigError):
+            store.get("nope")
+
+    def test_id_required(self):
+        with pytest.raises(ConfigError):
+            SummaryStore().add(make_summary("", []))
+
+    def test_replace_on_re_add(self, store):
+        store.add(make_summary("t4", [(SPEED, 10.0)], text="now slow"))
+        assert len(store) == 4
+        assert store.query(features=[FeaturePredicate(SPEED)], limit=10)
+
+
+class TestQueries:
+    def test_feature_presence(self, store):
+        hits = store.query(features=[FeaturePredicate(U_TURNS)])
+        assert [s.trajectory_id for s in hits] == ["t2"]
+
+    def test_feature_value_range(self, store):
+        slow = store.query(features=[FeaturePredicate(SPEED, max_value=30.0)])
+        assert [s.trajectory_id for s in slow] == ["t1"]
+        fast = store.query(features=[FeaturePredicate(SPEED, min_value=50.0)])
+        assert [s.trajectory_id for s in fast] == ["t3"]
+
+    def test_landmark_mention(self, store):
+        hits = store.query(mentions_landmark="Mall")
+        assert {s.trajectory_id for s in hits} == {"t1", "t3", "t4"}
+
+    def test_conjunction(self, store):
+        hits = store.query(
+            features=[FeaturePredicate(SPEED)], mentions_landmark="Station"
+        )
+        assert [s.trajectory_id for s in hits] == ["t3"]
+
+    def test_text_ranking(self, store):
+        hits = store.query(text="U-turns park")
+        assert hits[0].trajectory_id == "t2"
+
+    def test_text_plus_feature(self, store):
+        hits = store.query(text="trip", features=[FeaturePredicate(SPEED)])
+        assert {s.trajectory_id for s in hits} == {"t1", "t3"}
+
+    def test_limit(self, store):
+        assert len(store.query(limit=2)) == 2
+        with pytest.raises(ConfigError):
+            store.query(limit=0)
+
+    def test_count_by_feature(self, store):
+        counts = store.count_by_feature()
+        assert counts[SPEED] == 2
+        assert counts[U_TURNS] == 1
+
+
+class TestWithRealSummaries:
+    def test_store_over_simulated_corpus(self, scenario):
+        rng = np.random.default_rng(81)
+        trips = scenario.simulate_trips(10, depart_time=8 * 3600.0, rng=rng)
+        store = SummaryStore()
+        store.add_all(scenario.stmaker.summarize(t.raw, k=2) for t in trips)
+        assert len(store) == 10
+        slow = store.query(
+            features=[FeaturePredicate(SPEED, max_value=40.0)], limit=5
+        )
+        for summary in slow:
+            assert SPEED in summary.selected_feature_keys()

@@ -1,0 +1,175 @@
+"""Tests for the phrase and sentence templates (Tables V and VI)."""
+
+import pytest
+
+from repro.core import number_word, partition_sentence, phrase_for, pluralize, summary_text
+from repro.core.types import FeatureAssessment, PartitionSpan, PartitionSummary
+from repro.exceptions import SummarizationError
+from repro.features import (
+    GRADE_OF_ROAD,
+    ROAD_WIDTH,
+    SPEED,
+    SPEED_CHANGES,
+    STAY_POINTS,
+    TRAFFIC_DIRECTION,
+    U_TURNS,
+    FeatureDefinition,
+    FeatureDtype,
+    FeatureKind,
+    default_registry,
+)
+from repro.roadnet import RoadGrade, TrafficDirection
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry(include_speed_change=True)
+
+
+def assess(key, kind, observed, regular, extras=None):
+    return FeatureAssessment(key, kind, observed, regular, 0.5, extras or {})
+
+
+class TestNumberWords:
+    def test_small_numbers_spelled(self):
+        assert number_word(1) == "one"
+        assert number_word(2) == "two"
+        assert number_word(0) == "zero"
+
+    def test_large_numbers_digits(self):
+        assert number_word(17) == "17"
+
+    def test_pluralize(self):
+        assert pluralize(1, "U-turn") == "U-turn"
+        assert pluralize(3, "U-turn") == "U-turns"
+        assert pluralize(2, "foot", "feet") == "feet"
+
+
+class TestPhrases:
+    def test_speed_slower(self, registry):
+        a = assess(SPEED, FeatureKind.MOVING, 36.0, 50.0)
+        phrase = phrase_for(a, registry)
+        assert phrase == "with the speed of 36 km/h which was 14 km/h slower than usual"
+
+    def test_speed_faster(self, registry):
+        a = assess(SPEED, FeatureKind.MOVING, 80.0, 60.0)
+        assert "20 km/h faster than usual" in phrase_for(a, registry)
+
+    def test_stay_points_with_duration(self, registry):
+        a = assess(STAY_POINTS, FeatureKind.MOVING, 2.0, 0.0, {"stay_total_s": 167.0})
+        phrase = phrase_for(a, registry)
+        assert "two staying points" in phrase
+        assert "167 seconds" in phrase
+
+    def test_single_stay_point_singular(self, registry):
+        a = assess(STAY_POINTS, FeatureKind.MOVING, 1.0, 0.0)
+        assert "one staying point" in phrase_for(a, registry)
+        assert "points" not in phrase_for(a, registry)
+
+    def test_u_turn_with_place(self, registry):
+        a = assess(
+            U_TURNS, FeatureKind.MOVING, 1.0, 0.0, {"u_turn_places": ["Zhichun Road"]}
+        )
+        phrase = phrase_for(a, registry)
+        assert phrase == "with conducting one U-turn at Zhichun Road"
+
+    def test_u_turn_places_deduplicated(self, registry):
+        a = assess(
+            U_TURNS, FeatureKind.MOVING, 2.0, 0.0,
+            {"u_turn_places": ["A Road", "A Road"]},
+        )
+        assert phrase_for(a, registry).endswith("at A Road")
+
+    def test_grade_phrase_mentions_both_roads(self, registry):
+        a = assess(
+            GRADE_OF_ROAD, FeatureKind.ROUTING, 7.0, 1.0,
+            {
+                "observed_grade": RoadGrade.FEEDER,
+                "observed_road_name": "Anping Lane",
+                "regular_grade": RoadGrade.HIGHWAY,
+            },
+        )
+        phrase = phrase_for(a, registry)
+        assert "feeder road (Anping Lane)" in phrase
+        assert "most drivers choose highway" in phrase
+
+    def test_width_comparative(self, registry):
+        narrower = assess(ROAD_WIDTH, FeatureKind.ROUTING, 5.0, 20.0)
+        assert "prefer wider roads" in phrase_for(narrower, registry)
+        wider = assess(ROAD_WIDTH, FeatureKind.ROUTING, 25.0, 10.0)
+        assert "prefer narrower roads" in phrase_for(wider, registry)
+
+    def test_direction_phrase(self, registry):
+        a = assess(
+            TRAFFIC_DIRECTION, FeatureKind.ROUTING,
+            float(int(TrafficDirection.ONE_WAY)), float(int(TrafficDirection.TWO_WAY)),
+        )
+        phrase = phrase_for(a, registry)
+        assert "one-way road" in phrase
+        assert "two-way road" in phrase
+
+    def test_speed_change_phrase(self, registry):
+        a = assess(SPEED_CHANGES, FeatureKind.MOVING, 3.0, 0.0)
+        assert phrase_for(a, registry) == "with three sharp speed changes"
+
+    def test_custom_feature_phrase_hook(self):
+        definition = FeatureDefinition(
+            "fuel", "Fuel", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+            phrase=lambda a: f"burning {a.observed:.1f} litres",
+        )
+        registry = default_registry()
+        registry.register(definition)
+        a = assess("fuel", FeatureKind.MOVING, 4.2, 2.0)
+        assert phrase_for(a, registry) == "burning 4.2 litres"
+
+    def test_unknown_feature_generic_fallback(self):
+        registry = default_registry()
+        registry.register(
+            FeatureDefinition("noise", "Noise", FeatureKind.MOVING, FeatureDtype.NUMERIC)
+        )
+        a = assess("noise", FeatureKind.MOVING, 70.0, 50.0)
+        phrase = phrase_for(a, registry)
+        assert "Noise" in phrase and "70.0" in phrase
+
+
+class TestSentences:
+    def test_first_partition_opener(self, registry):
+        sentence = partition_sentence("Daoxiang Community", "Haidian Hospital", [], registry, True)
+        assert sentence == (
+            "The car started from the Daoxiang Community to the "
+            "Haidian Hospital smoothly."
+        )
+
+    def test_later_partition_opener(self, registry):
+        sentence = partition_sentence("A", "B", [], registry, False)
+        assert sentence.startswith("Then it moved from the A to the B")
+
+    def test_features_joined(self, registry):
+        selected = [
+            assess(STAY_POINTS, FeatureKind.MOVING, 2.0, 0.0, {"stay_total_s": 167.0}),
+            assess(SPEED, FeatureKind.MOVING, 36.0, 50.0),
+        ]
+        sentence = partition_sentence("A", "B", selected, registry, True)
+        assert "two staying points" in sentence
+        assert "slower than usual" in sentence
+        assert sentence.endswith(".")
+
+    def test_through_phrases_lead(self, registry):
+        selected = [
+            assess(SPEED, FeatureKind.MOVING, 36.0, 50.0),
+            assess(
+                GRADE_OF_ROAD, FeatureKind.ROUTING, 1.0, 7.0,
+                {"observed_grade": RoadGrade.HIGHWAY, "regular_grade": RoadGrade.FEEDER},
+            ),
+        ]
+        sentence = partition_sentence("A", "B", selected, registry, True)
+        assert sentence.index("through") < sentence.index("speed")
+
+    def test_summary_text_concatenates(self, registry):
+        p1 = PartitionSummary(PartitionSpan(0, 0), "A", "B", [], [], "First.")
+        p2 = PartitionSummary(PartitionSpan(1, 1), "B", "C", [], [], "Second.")
+        assert summary_text([p1, p2]) == "First. Second."
+
+    def test_summary_text_empty_rejected(self):
+        with pytest.raises(SummarizationError):
+            summary_text([])

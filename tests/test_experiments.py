@@ -1,0 +1,183 @@
+"""Tests for the experiment harness: FF metric, user study, runners."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import PartitionSpan, PartitionSummary, TrajectorySummary
+from repro.exceptions import ConfigError
+from repro.experiments import (
+    ReaderConfig,
+    feature_frequency,
+    format_ff_table,
+    format_table,
+    grade_summary,
+    landmark_usage,
+    level_histogram,
+    run_case_study,
+    run_efficiency,
+    run_landmark_usage,
+    run_partition_size_sweep,
+    run_user_study_experiment,
+)
+from repro.experiments.userstudy import GradedSummary
+
+
+def make_summary(tid, selected_keys, names=("A", "B"), text="The car moved."):
+    from repro.core.types import FeatureAssessment
+    from repro.features import FeatureKind
+
+    selected = [
+        FeatureAssessment(k, FeatureKind.MOVING, 1.0, 0.0, 0.5) for k in selected_keys
+    ]
+    partition = PartitionSummary(
+        PartitionSpan(0, 0), names[0], names[1], selected, selected, text
+    )
+    return TrajectorySummary(tid, text, [partition])
+
+
+class TestFeatureFrequency:
+    def test_basic(self):
+        summaries = [
+            make_summary("a", ["speed"]),
+            make_summary("b", ["speed", "u_turns"]),
+            make_summary("c", []),
+        ]
+        ff = feature_frequency(summaries, ["speed", "u_turns", "stay_points"])
+        assert ff["speed"] == pytest.approx(2 / 3)
+        assert ff["u_turns"] == pytest.approx(1 / 3)
+        assert ff["stay_points"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            feature_frequency([], ["speed"])
+
+    def test_landmark_usage_counts(self):
+        summaries = [
+            make_summary("a", [], names=("X", "Y")),
+            make_summary("b", [], names=("Y", "Z")),
+        ]
+        usage = landmark_usage(summaries)
+        assert usage == {"X": 1, "Y": 2, "Z": 1}
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 0.5], [22, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.500" in text
+        assert "22" in text
+
+    def test_format_ff_table_short_labels(self):
+        text = format_ff_table(
+            ["row1"], [{"speed": 0.5, "grade_of_road": 0.1}],
+            ["grade_of_road", "speed"], "k",
+        )
+        assert "GR" in text and "Spe" in text
+
+
+class TestSimulatedReader:
+    def test_rubric_weights_validated(self):
+        with pytest.raises(ConfigError):
+            ReaderConfig(coverage_weight=0.9, orientation_weight=0.9, readability_weight=0.9)
+
+    def test_covered_eventful_trip_scores_high(self, scenario):
+        # Build a trip with events and a summary that mentions them.
+        rng = np.random.default_rng(0)
+        trips = scenario.simulate_trips(10, depart_time=8 * 3600.0, rng=rng)
+        eventful = max(trips, key=lambda t: sum(s.duration_s for s in t.stops))
+        summary = scenario.stmaker.summarize(eventful.raw, k=3)
+        graded = grade_summary(eventful, summary, scenario.landmarks)
+        assert 0.0 <= graded.score
+        assert graded.level in (1, 2, 3, 4)
+        assert 0.0 <= graded.coverage <= 1.0
+
+    def test_uncovered_events_penalized(self, scenario):
+        rng = np.random.default_rng(1)
+        trip = scenario.simulate_trips(1, depart_time=8 * 3600.0, rng=rng)[0]
+        summary = scenario.stmaker.summarize(trip.raw, k=2)
+        # Strip the text so nothing is conveyed.
+        bare = TrajectorySummary(
+            summary.trajectory_id, "The car moved.", summary.partitions
+        )
+        full_grade = grade_summary(trip, summary, scenario.landmarks)
+        if sum(s.duration_s for s in trip.stops) >= 90.0:
+            bare_grade = grade_summary(trip, bare, scenario.landmarks)
+            assert bare_grade.coverage <= full_grade.coverage
+
+    def test_level_histogram(self):
+        grades = [
+            GradedSummary("a", 1, 1, 1, 0.9, 4),
+            GradedSummary("b", 1, 1, 1, 0.7, 3),
+            GradedSummary("c", 1, 1, 1, 0.9, 4),
+        ]
+        hist = level_histogram(grades)
+        assert hist[4] == pytest.approx(2 / 3)
+        assert hist[3] == pytest.approx(1 / 3)
+        assert hist[1] == 0.0
+
+    def test_level_histogram_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            level_histogram([])
+
+
+class TestRunners:
+    def test_case_study_granularity(self, scenario):
+        result = run_case_study(scenario)
+        assert set(result.summaries) == {1, 2, 3}
+        assert result.summaries[1].partition_count == 1
+        assert result.summaries[3].partition_count == 3
+        # Ground truth has the events the case study is built around.
+        assert result.trip.stops or result.trip.u_turns
+
+    def test_landmark_usage_long_tail(self, scenario):
+        result = run_landmark_usage(scenario, n_trips=40, seed=3)
+        assert len(result.decile_share) == 10
+        assert sum(result.decile_share) == pytest.approx(1.0)
+        # Long tail: top deciles dominate.
+        assert result.top3_share() > 0.4
+
+    def test_partition_size_sweep_trends(self, scenario):
+        result = run_partition_size_sweep(scenario, ks=(1, 4, 7), n_trips=30, seed=4)
+        assert len(result.ff_by_k) == 3
+        # Moving features surface more at finer granularity (Fig. 10b).
+        assert result.moving_mean(2) >= result.moving_mean(0)
+
+    def test_user_study_runs(self, scenario):
+        result = run_user_study_experiment(scenario, n_summaries=30, n_readers=5, seed=5)
+        assert sum(result.histogram.values()) == pytest.approx(1.0)
+        assert len(result.grades) > 0
+
+    def test_time_of_day_runner_shape(self, scenario):
+        from repro.experiments import run_time_of_day
+
+        result = run_time_of_day(scenario, trips_per_bin=3, seed=7)
+        assert len(result.bin_labels) == 12
+        assert len(result.ff_by_bin) == 12
+        for row in result.ff_by_bin:
+            assert set(row) == set(scenario.registry.keys())
+            assert all(0.0 <= v <= 1.0 for v in row.values())
+        # day/night helpers are plain means over the right bins.
+        key = scenario.registry.keys()[0]
+        assert 0.0 <= result.daytime_mean(key) <= 1.0
+
+    def test_weight_sweep_runner_shape(self, scenario):
+        from repro.experiments import run_feature_weight_sweep
+
+        result = run_feature_weight_sweep(
+            scenario, weights=(0.5, 2.0), n_trips=6, seed=8
+        )
+        assert result.weights == [0.5, 2.0]
+        assert len(result.ff_by_weight) == 2
+        # Non-speed features are weight-invariant across the sweep (the
+        # trips and all other weights are identical).
+        for key in result.feature_keys:
+            if key == "speed":
+                continue
+            assert result.ff_by_weight[0][key] == result.ff_by_weight[1][key]
+
+    def test_efficiency_reports_positive_times(self, scenario):
+        result = run_efficiency(scenario, n_trips=10, ks=(1, 3), seed=6)
+        assert result.by_size
+        assert all(ms > 0 for _, ms in result.by_size)
+        assert [k for k, _ in result.by_k] == [1, 3]

@@ -1,0 +1,209 @@
+"""Tests for moving-feature detectors: stays, U-turns, speed changes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features import (
+    MovingFeatureExtractor,
+    SpeedChangeConfig,
+    StayPointConfig,
+    UTurnConfig,
+    count_speed_changes,
+    detect_stay_points,
+    detect_u_turns,
+)
+from repro.geo import GeoPoint, LocalProjector
+from repro.trajectory import TrajectoryPoint
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+@pytest.fixture(scope="module")
+def projector():
+    return LocalProjector(CENTER)
+
+
+def moving_east(projector, speed_ms=10.0, dt=5.0, n=20, start_t=0.0, start_x=0.0):
+    return [
+        TrajectoryPoint(projector.to_point(start_x + i * speed_ms * dt, 0.0), start_t + i * dt)
+        for i in range(n)
+    ]
+
+
+def parked(projector, x, t0, duration, dt=5.0, jitter=0.0, rng=None):
+    pts = []
+    t = t0
+    while t <= t0 + duration:
+        dx = dy = 0.0
+        if jitter and rng is not None:
+            dx = float(rng.normal(0, jitter))
+            dy = float(rng.normal(0, jitter))
+        pts.append(TrajectoryPoint(projector.to_point(x + dx, dy), t))
+        t += dt
+    return pts
+
+
+class TestStayPoints:
+    def test_config_validation(self):
+        with pytest.raises(FeatureError):
+            StayPointConfig(radius_m=0.0)
+        with pytest.raises(FeatureError):
+            StayPointConfig(min_duration_s=-1.0)
+
+    def test_no_stays_while_moving(self, projector):
+        pts = moving_east(projector)
+        assert detect_stay_points(pts, projector) == []
+
+    def test_stop_detected(self, projector):
+        pts = moving_east(projector, n=10)
+        stop_start = pts[-1].t + 5.0
+        pts += parked(projector, 450.0, stop_start, 120.0)
+        pts += moving_east(projector, start_t=stop_start + 130.0, start_x=460.0, n=10)
+        stays = detect_stay_points(pts, projector)
+        assert len(stays) == 1
+        assert stays[0].duration_s >= 100.0
+        x, _ = projector.to_xy(stays[0].center)
+        assert x == pytest.approx(450.0, abs=15.0)
+
+    def test_short_pause_ignored(self, projector):
+        pts = moving_east(projector, n=5)
+        pts += parked(projector, 225.0, pts[-1].t + 5.0, 30.0)  # 30 s < 60 s
+        pts += moving_east(projector, start_t=pts[-1].t + 5.0, start_x=230.0, n=5)
+        assert detect_stay_points(pts, projector) == []
+
+    def test_jittered_stop_still_detected(self, projector):
+        rng = np.random.default_rng(0)
+        pts = moving_east(projector, n=5)
+        pts += parked(projector, 230.0, pts[-1].t + 5.0, 150.0, jitter=5.0, rng=rng)
+        pts += moving_east(projector, start_t=pts[-1].t + 5.0, start_x=240.0, n=5)
+        stays = detect_stay_points(pts, projector)
+        assert len(stays) == 1
+
+    def test_two_separate_stops(self, projector):
+        pts = moving_east(projector, n=5)
+        pts += parked(projector, 230.0, pts[-1].t + 5.0, 90.0)
+        pts += moving_east(projector, start_t=pts[-1].t + 5.0, start_x=240.0, n=10)
+        pts += parked(projector, 740.0, pts[-1].t + 5.0, 90.0)
+        pts += moving_east(projector, start_t=pts[-1].t + 5.0, start_x=750.0, n=5)
+        assert len(detect_stay_points(pts, projector)) == 2
+
+    def test_empty_input(self, projector):
+        assert detect_stay_points([], projector) == []
+
+
+class TestUTurns:
+    def test_config_validation(self):
+        with pytest.raises(FeatureError):
+            UTurnConfig(angle_threshold_deg=0.0)
+        with pytest.raises(FeatureError):
+            UTurnConfig(window_m=0.0)
+
+    def make_u_turn_track(self, projector, out_m=300.0, speed=10.0, dt=5.0):
+        """Drive east out_m metres, then back west to the origin."""
+        pts = []
+        t = 0.0
+        x = 0.0
+        while x < out_m:
+            pts.append(TrajectoryPoint(projector.to_point(x, 0.0), t))
+            x += speed * dt
+            t += dt
+        while x > 0:
+            pts.append(TrajectoryPoint(projector.to_point(x, 0.0), t))
+            x -= speed * dt
+            t += dt
+        return pts
+
+    def test_single_u_turn_detected(self, projector):
+        pts = self.make_u_turn_track(projector)
+        turns = detect_u_turns(pts, projector)
+        assert len(turns) == 1
+        x, _ = projector.to_xy(turns[0].location)
+        assert x == pytest.approx(300.0, abs=60.0)
+
+    def test_straight_drive_no_u_turn(self, projector):
+        assert detect_u_turns(moving_east(projector), projector) == []
+
+    def test_right_angle_turn_not_a_u_turn(self, projector):
+        pts = []
+        t = 0.0
+        for i in range(10):
+            pts.append(TrajectoryPoint(projector.to_point(i * 50.0, 0.0), t))
+            t += 5.0
+        for j in range(1, 10):
+            pts.append(TrajectoryPoint(projector.to_point(450.0, j * 50.0), t))
+            t += 5.0
+        assert detect_u_turns(pts, projector) == []
+
+    def test_parked_jitter_is_not_a_u_turn(self, projector):
+        # The classic false positive: GPS noise while stationary.
+        rng = np.random.default_rng(1)
+        pts = moving_east(projector, n=8)
+        pts += parked(projector, 350.0, pts[-1].t + 5.0, 200.0, jitter=6.0, rng=rng)
+        pts += moving_east(projector, start_t=pts[-1].t + 5.0, start_x=360.0, n=8)
+        assert detect_u_turns(pts, projector) == []
+
+    def test_short_input(self, projector):
+        assert detect_u_turns(moving_east(projector, n=2), projector) == []
+
+    def test_short_dense_turn_detected_once(self, projector):
+        # A dense out-and-back over 150 m yields exactly one event (nearby
+        # reversal samples merge via the merge gap).
+        pts = self.make_u_turn_track(projector, out_m=150.0, dt=2.0)
+        turns = detect_u_turns(pts, projector)
+        assert len(turns) == 1
+
+
+class TestSpeedChanges:
+    def test_config_validation(self):
+        with pytest.raises(FeatureError):
+            SpeedChangeConfig(threshold_ms=0.0)
+
+    def test_constant_speed_no_events(self, projector):
+        assert count_speed_changes(moving_east(projector), projector) == 0
+
+    def test_hard_brake_counted(self, projector):
+        pts = moving_east(projector, speed_ms=15.0, n=6)
+        # Continue at crawling speed: 15 -> 1 m/s is a sharp change.
+        t0 = pts[-1].t
+        x0, _ = projector.to_xy(pts[-1].point)
+        for i in range(1, 6):
+            pts.append(TrajectoryPoint(projector.to_point(x0 + i * 5.0, 0.0), t0 + i * 5.0))
+        assert count_speed_changes(pts, projector) == 1
+
+    def test_events_merged_within_gap(self, projector):
+        # Alternate fast/slow every sample: all events inside one merge gap.
+        pts = []
+        x, t = 0.0, 0.0
+        for i in range(10):
+            speed = 15.0 if i % 2 == 0 else 2.0
+            x += speed * 2.0
+            t += 2.0
+            pts.append(TrajectoryPoint(projector.to_point(x, 0.0), t))
+        count = count_speed_changes(
+            pts, projector, SpeedChangeConfig(threshold_ms=4.0, merge_gap_s=60.0)
+        )
+        assert count == 1
+
+    def test_short_input(self, projector):
+        assert count_speed_changes(moving_east(projector, n=2), projector) == 0
+
+
+class TestMovingFeatureExtractor:
+    def test_bundle(self, projector):
+        extractor = MovingFeatureExtractor(projector)
+        pts = moving_east(projector, speed_ms=10.0, n=20)
+        features = extractor.extract(pts)
+        assert features.speed_kmh == pytest.approx(36.0, rel=0.01)
+        assert features.stay_count == 0
+        assert features.u_turn_count == 0
+        assert features.speed_change_count == 0
+
+    def test_stay_total(self, projector):
+        extractor = MovingFeatureExtractor(projector)
+        pts = moving_east(projector, n=5)
+        pts += parked(projector, 230.0, pts[-1].t + 5.0, 100.0)
+        pts += moving_east(projector, start_t=pts[-1].t + 5.0, start_x=240.0, n=5)
+        features = extractor.extract(pts)
+        assert features.stay_count == 1
+        assert features.stay_total_s == pytest.approx(100.0, abs=15.0)

@@ -1,0 +1,143 @@
+"""Tests for the per-segment feature pipeline on the simulated city."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features import (
+    ExtractionContext,
+    FeatureDefinition,
+    FeatureDtype,
+    FeatureKind,
+    FeaturePipeline,
+    default_registry,
+)
+from repro.trajectory import RawTrajectory, TrajectoryPoint
+
+
+@pytest.fixture(scope="module")
+def calibrated_trip(scenario):
+    rng = np.random.default_rng(17)
+    trip = scenario.simulate_trips(1, depart_time=9 * 3600.0, rng=rng)[0]
+    symbolic = scenario.stmaker.calibrator.calibrate(trip.raw)
+    return trip, symbolic
+
+
+class TestExtract:
+    def test_one_row_per_segment(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        rows = scenario.stmaker.pipeline.extract(trip.raw, symbolic)
+        assert len(rows) == symbolic.segment_count
+
+    def test_all_registry_keys_present(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        rows = scenario.stmaker.pipeline.extract(trip.raw, symbolic)
+        keys = set(scenario.registry.keys())
+        for row in rows:
+            assert set(row.values) == keys
+
+    def test_values_sane(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        rows = scenario.stmaker.pipeline.extract(trip.raw, symbolic)
+        for row in rows:
+            assert 1 <= row.values["grade_of_road"] <= 7
+            assert row.values["road_width"] > 0
+            assert row.values["traffic_direction"] in (1.0, 2.0)
+            assert 0 <= row.values["speed"] < 150.0
+            assert row.values["stay_points"] >= 0
+            assert row.values["u_turns"] >= 0
+
+    def test_segment_alignment(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        rows = scenario.stmaker.pipeline.extract(trip.raw, symbolic)
+        for i, row in enumerate(rows):
+            assert row.segment.index == i
+
+    def test_extract_moving_matches_full_extraction(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        pipeline = scenario.stmaker.pipeline
+        full = pipeline.extract(trip.raw, symbolic)
+        for segment, row in zip(symbolic.segments(), full):
+            values, moving = pipeline.extract_moving(trip.raw, segment)
+            for key in ("speed", "stay_points", "u_turns"):
+                assert values[key] == row.values[key]
+            assert moving.stay_count == row.moving.stay_count
+
+    def test_sparse_segment_fallback(self, scenario):
+        # A segment window with fewer than 2 raw samples must still produce
+        # features (landmark endpoints stand in; routing via hop path).
+        landmarks = scenario.landmarks
+        ids = landmarks.ids()
+        a, b = landmarks.get(ids[0]), None
+        hit = landmarks.within(a.point, 1_500.0)
+        b = next(lm for d, lm in hit if lm.landmark_id != a.landmark_id and d > 200.0)
+        from repro.trajectory import SymbolicEntry, SymbolicTrajectory
+
+        symbolic = SymbolicTrajectory(
+            [SymbolicEntry(a.landmark_id, 1000.0), SymbolicEntry(b.landmark_id, 1060.0)]
+        )
+        # Raw trajectory whose samples fall entirely outside the window.
+        raw = RawTrajectory(
+            [TrajectoryPoint(a.point, 0.0), TrajectoryPoint(b.point, 10.0)]
+        )
+        rows = scenario.stmaker.pipeline.extract(raw, symbolic)
+        assert len(rows) == 1
+        assert rows[0].values["speed"] > 0.0
+
+
+class TestCustomFeatures:
+    def test_custom_extractor_used(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        registry = default_registry()
+        registry.register(
+            FeatureDefinition(
+                "sample_density", "SD", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+                extractor=lambda ctx: float(len(ctx.points)),
+            )
+        )
+        pipeline = FeaturePipeline(scenario.network, scenario.landmarks, registry)
+        rows = pipeline.extract(trip.raw, symbolic)
+        assert all(row.values["sample_density"] >= 2 for row in rows)
+
+    def test_missing_extractor_rejected(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        registry = default_registry()
+        registry.register(
+            FeatureDefinition("ghost", "G", FeatureKind.MOVING, FeatureDtype.NUMERIC)
+        )
+        pipeline = FeaturePipeline(scenario.network, scenario.landmarks, registry)
+        with pytest.raises(FeatureError):
+            pipeline.extract(trip.raw, symbolic)
+
+    def test_extraction_context_fields(self, scenario, calibrated_trip):
+        trip, symbolic = calibrated_trip
+        seen: list[ExtractionContext] = []
+
+        def spy(ctx: ExtractionContext) -> float:
+            seen.append(ctx)
+            return 0.0
+
+        registry = default_registry()
+        registry.register(
+            FeatureDefinition("spy", "S", FeatureKind.MOVING, FeatureDtype.NUMERIC,
+                              extractor=spy)
+        )
+        pipeline = FeaturePipeline(scenario.network, scenario.landmarks, registry)
+        pipeline.extract(trip.raw, symbolic)
+        assert seen
+        assert seen[0].network is scenario.network
+        assert seen[0].routing is not None
+        assert len(seen[0].points) >= 2
+
+
+class TestHopFeatures:
+    def test_hop_features_for_neighbouring_landmarks(self, scenario):
+        ids = scenario.landmarks.ids()
+        origin = scenario.landmarks.get(ids[0])
+        near = scenario.landmarks.within(origin.point, 1_000.0)
+        target = next(lm for d, lm in near if d > 100.0)
+        hop = scenario.stmaker.pipeline.hop_features(
+            origin.landmark_id, target.landmark_id
+        )
+        assert hop.width_m > 0
+        assert hop.road_name

@@ -1,0 +1,66 @@
+"""Tests for geographic bounding boxes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geo import BoundingBox, GeoPoint
+
+lat = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+lon = st.floats(min_value=-170.0, max_value=170.0, allow_nan=False)
+
+
+class TestBoundingBox:
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(10.0, 0.0, 5.0, 1.0)
+
+    def test_point_box_allowed(self):
+        box = BoundingBox(1.0, 2.0, 1.0, 2.0)
+        assert box.contains(GeoPoint(1.0, 2.0))
+
+    def test_from_points(self):
+        pts = [GeoPoint(1.0, 5.0), GeoPoint(-2.0, 7.0), GeoPoint(0.5, 6.0)]
+        box = BoundingBox.from_points(pts)
+        assert box == BoundingBox(-2.0, 5.0, 1.0, 7.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.from_points([])
+
+    def test_contains_boundary(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(GeoPoint(0.0, 0.0))
+        assert box.contains(GeoPoint(1.0, 1.0))
+        assert not box.contains(GeoPoint(1.0001, 0.5))
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 4.0)
+        assert box.center == GeoPoint(1.0, 2.0)
+
+    def test_expanded(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0).expanded(0.5)
+        assert box == BoundingBox(-0.5, -0.5, 1.5, 1.5)
+
+    def test_intersects_overlapping(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_disjoint(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert not a.intersects(b)
+
+    def test_intersects_touching_edge(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+
+    @given(st.lists(st.tuples(lat, lon), min_size=1, max_size=20))
+    def test_from_points_contains_all(self, coords):
+        pts = [GeoPoint(la, lo) for la, lo in coords]
+        box = BoundingBox.from_points(pts)
+        assert all(box.contains(p) for p in pts)

@@ -1,0 +1,126 @@
+"""Tests for haversine, the local projector, and point-segment distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint, LocalProjector, haversine_m, point_segment_distance_m
+
+CENTER = GeoPoint(39.91, 116.40)
+
+city_offset = st.floats(min_value=-15_000.0, max_value=15_000.0, allow_nan=False)
+
+
+@pytest.fixture(scope="module")
+def projector():
+    return LocalProjector(CENTER)
+
+
+class TestHaversine:
+    def test_zero_for_identical_points(self):
+        assert haversine_m(CENTER, CENTER) == 0.0
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        # One degree of latitude is ~111.2 km on the sphere.
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=1e-3)
+
+    def test_symmetry(self):
+        a = GeoPoint(39.9383, 116.339)
+        b = GeoPoint(39.9253, 116.310)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+    def test_known_city_distance(self):
+        # Two points from Table I of the paper; roughly 2.9 km apart.
+        a = GeoPoint(39.9383, 116.339)
+        b = GeoPoint(39.9253, 116.310)
+        assert 2_500 < haversine_m(a, b) < 3_200
+
+
+class TestLocalProjector:
+    def test_origin_maps_to_zero(self, projector):
+        assert projector.to_xy(CENTER) == (0.0, 0.0)
+
+    def test_roundtrip(self, projector):
+        p = GeoPoint(39.95, 116.45)
+        x, y = projector.to_xy(p)
+        back = projector.to_point(x, y)
+        assert back.lat == pytest.approx(p.lat, abs=1e-9)
+        assert back.lon == pytest.approx(p.lon, abs=1e-9)
+
+    def test_axes_orientation(self, projector):
+        north = GeoPoint(CENTER.lat + 0.01, CENTER.lon)
+        east = GeoPoint(CENTER.lat, CENTER.lon + 0.01)
+        assert projector.to_xy(north)[1] > 0
+        assert projector.to_xy(north)[0] == pytest.approx(0.0)
+        assert projector.to_xy(east)[0] > 0
+        assert projector.to_xy(east)[1] == pytest.approx(0.0)
+
+    @given(city_offset, city_offset, city_offset, city_offset)
+    def test_matches_haversine_at_city_scale(self, x1, y1, x2, y2):
+        projector = LocalProjector(CENTER)
+        a = projector.to_point(x1, y1)
+        b = projector.to_point(x2, y2)
+        fast = projector.distance_m(a, b)
+        exact = haversine_m(a, b)
+        # Equirectangular error at <= ~40 km scale must stay below 0.2 %.
+        assert fast == pytest.approx(exact, rel=2e-3, abs=0.5)
+
+    @given(city_offset, city_offset)
+    def test_distance_zero_iff_same_point(self, x, y):
+        projector = LocalProjector(CENTER)
+        p = projector.to_point(x, y)
+        assert projector.distance_m(p, p) == 0.0
+
+
+class TestPointSegmentDistance:
+    def test_point_on_segment(self, projector):
+        a = projector.to_point(0.0, 0.0)
+        b = projector.to_point(100.0, 0.0)
+        mid = projector.to_point(50.0, 0.0)
+        dist, frac = point_segment_distance_m(mid, a, b, projector)
+        assert dist == pytest.approx(0.0, abs=1e-6)
+        assert frac == pytest.approx(0.5, abs=1e-6)
+
+    def test_perpendicular_distance(self, projector):
+        a = projector.to_point(0.0, 0.0)
+        b = projector.to_point(100.0, 0.0)
+        p = projector.to_point(50.0, 30.0)
+        dist, frac = point_segment_distance_m(p, a, b, projector)
+        assert dist == pytest.approx(30.0, abs=1e-3)
+        assert frac == pytest.approx(0.5, abs=1e-3)
+
+    def test_clamps_before_start(self, projector):
+        a = projector.to_point(0.0, 0.0)
+        b = projector.to_point(100.0, 0.0)
+        p = projector.to_point(-40.0, 30.0)
+        dist, frac = point_segment_distance_m(p, a, b, projector)
+        assert frac == 0.0
+        assert dist == pytest.approx(50.0, abs=1e-3)
+
+    def test_clamps_after_end(self, projector):
+        a = projector.to_point(0.0, 0.0)
+        b = projector.to_point(100.0, 0.0)
+        p = projector.to_point(140.0, 30.0)
+        dist, frac = point_segment_distance_m(p, a, b, projector)
+        assert frac == 1.0
+        assert dist == pytest.approx(50.0, abs=1e-3)
+
+    def test_degenerate_segment(self, projector):
+        a = projector.to_point(10.0, 10.0)
+        p = projector.to_point(13.0, 14.0)
+        dist, frac = point_segment_distance_m(p, a, a, projector)
+        assert dist == pytest.approx(5.0, abs=1e-3)
+        assert frac == 0.0
+
+    @given(city_offset, city_offset, city_offset, city_offset, city_offset, city_offset)
+    def test_distance_never_exceeds_endpoint_distance(self, px, py, ax, ay, bx, by):
+        projector = LocalProjector(CENTER)
+        p = projector.to_point(px, py)
+        a = projector.to_point(ax, ay)
+        b = projector.to_point(bx, by)
+        dist, frac = point_segment_distance_m(p, a, b, projector)
+        assert 0.0 <= frac <= 1.0
+        assert dist <= projector.distance_m(p, a) + 1e-6
+        assert dist <= projector.distance_m(p, b) + 1e-6

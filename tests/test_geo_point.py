@@ -1,0 +1,106 @@
+"""Tests for GeoPoint and bearing arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geo import GeoPoint, bearing_deg, destination_point, haversine_m, heading_change_deg
+
+finite_lat = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+finite_lon = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(39.9383, 116.339)
+        assert p.lat == 39.9383
+        assert p.lon == 116.339
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_latitude_out_of_range_rejected(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(GeometryError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_out_of_range_rejected(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(0.0, 180.5)
+        with pytest.raises(GeometryError):
+            GeoPoint(0.0, -181.0)
+
+    def test_boundary_values_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_is_hashable_and_equal_by_value(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert len({GeoPoint(1.0, 2.0), GeoPoint(1.0, 2.0)}) == 1
+
+    def test_str_rounds_to_six_decimals(self):
+        assert str(GeoPoint(39.9383, 116.339)) == "(39.938300, 116.339000)"
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert bearing_deg(GeoPoint(1.0, 0.0), GeoPoint(0.0, 0.0)) == pytest.approx(180.0)
+
+    def test_due_west(self):
+        assert bearing_deg(GeoPoint(0.0, 1.0), GeoPoint(0.0, 0.0)) == pytest.approx(270.0)
+
+    @given(finite_lat, finite_lon, finite_lat, finite_lon)
+    def test_bearing_always_in_range(self, lat1, lon1, lat2, lon2):
+        b = bearing_deg(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert 0.0 <= b < 360.0
+
+
+class TestHeadingChange:
+    def test_identical_headings(self):
+        assert heading_change_deg(45.0, 45.0) == 0.0
+
+    def test_reversal_is_180(self):
+        assert heading_change_deg(10.0, 190.0) == pytest.approx(180.0)
+
+    def test_wraps_across_north(self):
+        assert heading_change_deg(350.0, 10.0) == pytest.approx(20.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=360.0),
+        st.floats(min_value=0.0, max_value=360.0),
+    )
+    def test_folded_range_and_symmetry(self, a, b):
+        change = heading_change_deg(a, b)
+        assert 0.0 <= change <= 180.0
+        assert change == pytest.approx(heading_change_deg(b, a))
+
+
+class TestDestinationPoint:
+    def test_roundtrip_distance(self):
+        origin = GeoPoint(39.91, 116.40)
+        dest = destination_point(origin, 37.0, 1_000.0)
+        assert haversine_m(origin, dest) == pytest.approx(1_000.0, rel=1e-6)
+
+    def test_zero_distance_is_identity(self):
+        origin = GeoPoint(39.91, 116.40)
+        dest = destination_point(origin, 123.0, 0.0)
+        assert haversine_m(origin, dest) < 1e-6
+
+    @given(
+        st.floats(min_value=0.0, max_value=359.9),
+        st.floats(min_value=1.0, max_value=50_000.0),
+    )
+    def test_bearing_roundtrip(self, bearing, distance):
+        origin = GeoPoint(39.91, 116.40)
+        dest = destination_point(origin, bearing, distance)
+        assert heading_change_deg(bearing_deg(origin, dest), bearing) < 0.5

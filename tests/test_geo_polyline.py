@@ -1,0 +1,130 @@
+"""Tests for polyline length, interpolation, resampling and projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geo import (
+    GeoPoint,
+    LocalProjector,
+    cumulative_lengths_m,
+    interpolate_along,
+    nearest_point_on_polyline,
+    polyline_length_m,
+    resample_polyline,
+)
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+@pytest.fixture(scope="module")
+def projector():
+    return LocalProjector(CENTER)
+
+
+@pytest.fixture(scope="module")
+def l_shape(projector):
+    """An L-shaped polyline: 1000 m east then 500 m north."""
+    return [
+        projector.to_point(0.0, 0.0),
+        projector.to_point(1000.0, 0.0),
+        projector.to_point(1000.0, 500.0),
+    ]
+
+
+class TestPolylineLength:
+    def test_l_shape_length(self, l_shape, projector):
+        assert polyline_length_m(l_shape, projector) == pytest.approx(1500.0, rel=1e-6)
+
+    def test_empty_and_single(self, projector):
+        assert polyline_length_m([], projector) == 0.0
+        assert polyline_length_m([CENTER], projector) == 0.0
+
+    def test_cumulative(self, l_shape, projector):
+        cum = cumulative_lengths_m(l_shape, projector)
+        assert cum[0] == 0.0
+        assert cum[1] == pytest.approx(1000.0, rel=1e-6)
+        assert cum[2] == pytest.approx(1500.0, rel=1e-6)
+
+    def test_cumulative_empty(self, projector):
+        assert cumulative_lengths_m([], projector) == []
+
+
+class TestInterpolateAlong:
+    def test_at_zero_returns_start(self, l_shape, projector):
+        assert interpolate_along(l_shape, 0.0, projector) == l_shape[0]
+
+    def test_midpoint_of_first_leg(self, l_shape, projector):
+        p = interpolate_along(l_shape, 500.0, projector)
+        x, y = projector.to_xy(p)
+        assert x == pytest.approx(500.0, abs=0.01)
+        assert y == pytest.approx(0.0, abs=0.01)
+
+    def test_into_second_leg(self, l_shape, projector):
+        p = interpolate_along(l_shape, 1250.0, projector)
+        x, y = projector.to_xy(p)
+        assert x == pytest.approx(1000.0, abs=0.01)
+        assert y == pytest.approx(250.0, abs=0.01)
+
+    def test_overshoot_clamps_to_end(self, l_shape, projector):
+        assert interpolate_along(l_shape, 99_999.0, projector) == l_shape[-1]
+
+    def test_negative_clamps_to_start(self, l_shape, projector):
+        assert interpolate_along(l_shape, -10.0, projector) == l_shape[0]
+
+    def test_empty_polyline_rejected(self, projector):
+        with pytest.raises(GeometryError):
+            interpolate_along([], 10.0, projector)
+
+    @given(st.floats(min_value=0.0, max_value=1500.0))
+    def test_interpolated_point_lies_on_polyline(self, distance):
+        projector = LocalProjector(CENTER)
+        shape = [
+            projector.to_point(0.0, 0.0),
+            projector.to_point(1000.0, 0.0),
+            projector.to_point(1000.0, 500.0),
+        ]
+        p = interpolate_along(shape, distance, projector)
+        perp, offset = nearest_point_on_polyline(p, shape, projector)
+        assert perp == pytest.approx(0.0, abs=0.01)
+        assert offset == pytest.approx(distance, abs=0.5)
+
+
+class TestResample:
+    def test_spacing_respected(self, l_shape, projector):
+        pts = resample_polyline(l_shape, 100.0, projector)
+        # 1500 m at 100 m spacing: interior points at 100..1400 plus both ends.
+        assert len(pts) == 16
+        assert pts[0] == l_shape[0]
+        assert pts[-1] == l_shape[-1]
+
+    def test_consecutive_gaps_do_not_exceed_spacing(self, l_shape, projector):
+        pts = resample_polyline(l_shape, 90.0, projector)
+        gaps = [projector.distance_m(a, b) for a, b in zip(pts, pts[1:])]
+        assert all(g <= 90.0 + 1e-6 for g in gaps)
+
+    def test_invalid_spacing_rejected(self, l_shape, projector):
+        with pytest.raises(GeometryError):
+            resample_polyline(l_shape, 0.0, projector)
+
+    def test_short_polyline_passthrough(self, projector):
+        assert resample_polyline([CENTER], 10.0, projector) == [CENTER]
+
+
+class TestNearestPointOnPolyline:
+    def test_offset_on_second_leg(self, l_shape, projector):
+        p = projector.to_point(1080.0, 250.0)
+        perp, offset = nearest_point_on_polyline(p, l_shape, projector)
+        assert perp == pytest.approx(80.0, abs=0.1)
+        assert offset == pytest.approx(1250.0, abs=0.5)
+
+    def test_single_point_polyline(self, projector):
+        p = projector.to_point(30.0, 40.0)
+        perp, offset = nearest_point_on_polyline(p, [CENTER], projector)
+        assert perp == pytest.approx(50.0, abs=0.1)
+        assert offset == 0.0
+
+    def test_empty_rejected(self, projector):
+        with pytest.raises(GeometryError):
+            nearest_point_on_polyline(CENTER, [], projector)

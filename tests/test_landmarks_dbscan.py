@@ -1,0 +1,152 @@
+"""Tests for the from-scratch DBSCAN, including invariants and edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.geo import GeoPoint, LocalProjector
+from repro.landmarks import NOISE, cluster_centroids, dbscan
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+@pytest.fixture(scope="module")
+def projector():
+    return LocalProjector(CENTER)
+
+
+def blob(projector, cx, cy, n, sigma, rng):
+    return [
+        projector.to_point(float(cx + dx), float(cy + dy))
+        for dx, dy in rng.normal(0.0, sigma, size=(n, 2))
+    ]
+
+
+class TestDBSCANBasics:
+    def test_invalid_params_rejected(self, projector):
+        with pytest.raises(ConfigError):
+            dbscan([CENTER], eps_m=0.0, min_pts=3, projector=projector)
+        with pytest.raises(ConfigError):
+            dbscan([CENTER], eps_m=10.0, min_pts=0, projector=projector)
+
+    def test_empty_input(self, projector):
+        result = dbscan([], eps_m=10.0, min_pts=3, projector=projector)
+        assert result.labels == []
+        assert result.cluster_count == 0
+
+    def test_single_point_is_noise_when_min_pts_high(self, projector):
+        result = dbscan([CENTER], eps_m=10.0, min_pts=2, projector=projector)
+        assert result.labels == [NOISE]
+
+    def test_single_point_cluster_when_min_pts_one(self, projector):
+        result = dbscan([CENTER], eps_m=10.0, min_pts=1, projector=projector)
+        assert result.labels == [0]
+        assert result.cluster_count == 1
+
+    def test_two_well_separated_blobs(self, projector):
+        rng = np.random.default_rng(0)
+        a = blob(projector, 0, 0, 30, 20.0, rng)
+        b = blob(projector, 5000, 0, 30, 20.0, rng)
+        result = dbscan(a + b, eps_m=100.0, min_pts=4, projector=projector)
+        assert result.cluster_count == 2
+        labels_a = {result.labels[i] for i in range(30)}
+        labels_b = {result.labels[i] for i in range(30, 60)}
+        assert labels_a.isdisjoint(labels_b)
+        assert NOISE not in labels_a | labels_b
+
+    def test_isolated_points_are_noise(self, projector):
+        rng = np.random.default_rng(1)
+        cluster = blob(projector, 0, 0, 30, 15.0, rng)
+        outliers = [projector.to_point(9000.0, 9000.0), projector.to_point(-9000.0, 4000.0)]
+        result = dbscan(cluster + outliers, eps_m=80.0, min_pts=4, projector=projector)
+        assert result.labels[-1] == NOISE
+        assert result.labels[-2] == NOISE
+
+    def test_chain_connectivity(self, projector):
+        # Points spaced 9 m apart with eps 10: one cluster via density chain.
+        points = [projector.to_point(i * 9.0, 0.0) for i in range(20)]
+        result = dbscan(points, eps_m=10.0, min_pts=2, projector=projector)
+        assert result.cluster_count == 1
+        assert all(label == 0 for label in result.labels)
+
+    def test_members(self, projector):
+        points = [projector.to_point(i * 9.0, 0.0) for i in range(5)]
+        result = dbscan(points, eps_m=10.0, min_pts=2, projector=projector)
+        assert result.members(0) == [0, 1, 2, 3, 4]
+
+
+class TestDBSCANInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_labels_well_formed(self, seed):
+        projector = LocalProjector(CENTER)
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 80))
+        points = [
+            projector.to_point(float(x), float(y))
+            for x, y in rng.uniform(-1000, 1000, size=(n, 2))
+        ]
+        result = dbscan(points, eps_m=60.0, min_pts=3, projector=projector)
+        assert len(result.labels) == n
+        used = {label for label in result.labels if label != NOISE}
+        # Cluster ids are exactly 0 .. cluster_count-1.
+        assert used == set(range(result.cluster_count))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_core_points_never_noise(self, seed):
+        projector = LocalProjector(CENTER)
+        rng = np.random.default_rng(seed)
+        points = [
+            projector.to_point(float(x), float(y))
+            for x, y in rng.uniform(-500, 500, size=(60, 2))
+        ]
+        eps, min_pts = 80.0, 4
+        result = dbscan(points, eps_m=eps, min_pts=min_pts, projector=projector)
+        for i, p in enumerate(points):
+            n_neighbors = sum(
+                1 for q in points if projector.distance_m(p, q) <= eps
+            )
+            if n_neighbors >= min_pts:
+                assert result.labels[i] != NOISE
+
+    def test_noise_invariant_to_input_order(self, projector):
+        rng = np.random.default_rng(5)
+        points = blob(projector, 0, 0, 40, 60.0, rng) + blob(projector, 3000, 0, 40, 60.0, rng)
+        forward = dbscan(points, eps_m=90.0, min_pts=4, projector=projector)
+        backward = dbscan(points[::-1], eps_m=90.0, min_pts=4, projector=projector)
+        noise_fwd = {i for i, label in enumerate(forward.labels) if label == NOISE}
+        noise_bwd = {
+            len(points) - 1 - i
+            for i, label in enumerate(backward.labels)
+            if label == NOISE
+        }
+        # Core-point cluster membership is order-independent in DBSCAN;
+        # only border-point *assignment* may vary, never their noise status.
+        assert noise_fwd == noise_bwd
+        assert forward.cluster_count == backward.cluster_count
+
+
+class TestCentroids:
+    def test_centroid_of_symmetric_cluster(self, projector):
+        points = [
+            projector.to_point(x, y)
+            for x, y in [(-10, 0), (10, 0), (0, -10), (0, 10)]
+        ]
+        result = dbscan(points, eps_m=25.0, min_pts=2, projector=projector)
+        assert result.cluster_count == 1
+        (centroid,) = cluster_centroids(points, result, projector)
+        x, y = projector.to_xy(centroid)
+        assert x == pytest.approx(0.0, abs=0.1)
+        assert y == pytest.approx(0.0, abs=0.1)
+
+    def test_noise_excluded_from_centroids(self, projector):
+        points = [projector.to_point(i * 5.0, 0.0) for i in range(10)]
+        points.append(projector.to_point(8000.0, 8000.0))
+        result = dbscan(points, eps_m=10.0, min_pts=2, projector=projector)
+        centroids = cluster_centroids(points, result, projector)
+        assert len(centroids) == result.cluster_count
+        x, _ = projector.to_xy(centroids[0])
+        assert x == pytest.approx(22.5, abs=0.1)

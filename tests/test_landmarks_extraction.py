@@ -1,0 +1,112 @@
+"""Tests for turning-point extraction and landmark dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox, GeoPoint, LocalProjector
+from repro.landmarks import (
+    LandmarkConfig,
+    LandmarkKind,
+    POIConfig,
+    build_landmarks,
+    extract_turning_points,
+    generate_pois,
+    noise_ratio,
+)
+from repro.roadnet import RoadGrade, RoadNetwork, TrafficDirection
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+def straight_then_bend_network(bend_deg: float) -> RoadNetwork:
+    """Three-node path whose middle node bends by *bend_deg*."""
+    import math
+
+    projector = LocalProjector(CENTER)
+    net = RoadNetwork(projector)
+    net.add_node(projector.to_point(-500.0, 0.0))  # 0
+    net.add_node(projector.to_point(0.0, 0.0))     # 1 (the bend)
+    rad = math.radians(bend_deg)
+    net.add_node(projector.to_point(500.0 * math.cos(rad), 500.0 * math.sin(rad)))  # 2
+    net.add_edge(0, 1, RoadGrade.COUNTRY, 10.0, TrafficDirection.TWO_WAY, "A Road")
+    net.add_edge(1, 2, RoadGrade.COUNTRY, 10.0, TrafficDirection.TWO_WAY, "A Road")
+    return net
+
+
+class TestTurningPoints:
+    def test_straight_degree2_node_excluded(self):
+        net = straight_then_bend_network(bend_deg=5.0)
+        ids = {nid for nid, _ in extract_turning_points(net, bend_threshold_deg=30.0)}
+        assert 1 not in ids
+
+    def test_sharp_bend_included(self):
+        net = straight_then_bend_network(bend_deg=60.0)
+        ids = {nid for nid, _ in extract_turning_points(net, bend_threshold_deg=30.0)}
+        assert 1 in ids
+
+    def test_dead_ends_included(self):
+        net = straight_then_bend_network(bend_deg=5.0)
+        ids = {nid for nid, _ in extract_turning_points(net)}
+        assert {0, 2} <= ids
+
+    def test_intersections_included(self, micro_network):
+        ids = {nid for nid, _ in extract_turning_points(micro_network)}
+        # Every node of the 3x3 grid has degree >= 2 with perpendicular
+        # roads; corners have degree 2 with a 90-degree through-bend.
+        assert ids == set(range(9))
+
+    def test_intersection_name_joins_roads(self, micro_network):
+        names = dict(extract_turning_points(micro_network))
+        assert names[4] == "Col 1 Lane & Row 1 Avenue"
+
+    def test_city_yields_many_turning_points(self, city):
+        points = extract_turning_points(city)
+        assert len(points) > city.node_count * 0.8
+
+
+class TestBuildLandmarks:
+    @pytest.fixture(scope="class")
+    def landmark_index(self, city):
+        bbox = city.bounding_box()
+        pois = generate_pois(
+            POIConfig(count=800), bbox, city.projector, np.random.default_rng(0)
+        )
+        return build_landmarks(city, pois, LandmarkConfig())
+
+    def test_contains_both_kinds(self, landmark_index):
+        kinds = {lm.kind for lm in landmark_index}
+        assert kinds == {LandmarkKind.TURNING_POINT, LandmarkKind.POI_CLUSTER}
+
+    def test_ids_unique_and_dense(self, landmark_index):
+        ids = sorted(lm.landmark_id for lm in landmark_index)
+        assert ids == list(range(len(ids)))
+
+    def test_all_landmarks_named(self, landmark_index):
+        assert all(lm.name for lm in landmark_index)
+
+    def test_initial_significance_zero(self, landmark_index):
+        assert all(lm.significance == 0.0 for lm in landmark_index)
+
+    def test_poi_cluster_separated_from_turning_points(self, landmark_index):
+        # After the merge step, no POI-cluster landmark may sit within the
+        # merge radius of a turning point.
+        config = LandmarkConfig()
+        turning = [
+            lm for lm in landmark_index if lm.kind is LandmarkKind.TURNING_POINT
+        ]
+        projector = landmark_index.projector
+        for lm in landmark_index:
+            if lm.kind is not LandmarkKind.POI_CLUSTER:
+                continue
+            nearest_tp = min(
+                projector.distance_m(lm.point, tp.point) for tp in turning
+            )
+            assert nearest_tp > config.merge_radius_m
+
+
+class TestNoiseRatio:
+    def test_empty(self):
+        assert noise_ratio([]) == 0.0
+
+    def test_mixed(self):
+        assert noise_ratio([0, -1, 1, -1]) == 0.5

@@ -1,0 +1,105 @@
+"""Tests for the HITS-like landmark significance algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.geo import GeoPoint, LocalProjector
+from repro.landmarks import (
+    Landmark,
+    LandmarkIndex,
+    LandmarkKind,
+    Visit,
+    assign_significance,
+    hits_significance,
+)
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+def star_visits(popular=0, rare=1, users=20):
+    """Every user visits the popular landmark; one user visits the rare one."""
+    visits = [Visit(u, popular) for u in range(users)]
+    visits.append(Visit(0, rare))
+    return visits
+
+
+class TestHITS:
+    def test_empty_input(self):
+        result = hits_significance([])
+        assert result.hub == {} and result.authority == {}
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigError):
+            hits_significance([Visit(0, 0)], max_iterations=0)
+
+    def test_popular_landmark_scores_highest(self):
+        result = hits_significance(star_visits())
+        assert result.hub[0] == 1.0
+        assert result.hub[1] < result.hub[0]
+
+    def test_scores_normalized_to_unit_max(self):
+        result = hits_significance(star_visits())
+        assert max(result.hub.values()) == pytest.approx(1.0)
+        assert all(0.0 <= s <= 1.0 for s in result.hub.values())
+
+    def test_symmetric_landmarks_score_equally(self):
+        visits = [Visit(u, lm) for u in range(10) for lm in (0, 1)]
+        result = hits_significance(visits)
+        assert result.hub[0] == pytest.approx(result.hub[1])
+
+    def test_visit_multiplicity_reinforces(self):
+        # Landmark 0 visited twice by each user, landmark 1 once.
+        visits = [Visit(u, 0) for u in range(5)] * 2 + [Visit(u, 1) for u in range(5)]
+        result = hits_significance(visits)
+        assert result.hub[0] > result.hub[1]
+
+    def test_well_travelled_visitors_boost_score(self):
+        # Landmarks 0..4 visited by the single well-travelled user 0;
+        # landmark 5 visited by a one-stop user. With equal degree on the
+        # landmark side, the landmark endorsed by the stronger authority wins.
+        visits = [Visit(0, lm) for lm in range(5)]
+        visits += [Visit(1, 0)]  # user 1 visits landmark 0 too
+        visits += [Visit(2, 5)]
+        result = hits_significance(visits)
+        assert result.hub[1] > result.hub[5]
+
+    def test_converges_quickly_on_bipartite_star(self):
+        result = hits_significance(star_visits(), tolerance=1e-12)
+        assert result.iterations < 100
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        visits = [
+            Visit(int(u), int(lm))
+            for u, lm in zip(rng.integers(0, 50, 500), rng.integers(0, 30, 500))
+        ]
+        a = hits_significance(visits)
+        b = hits_significance(visits)
+        assert a.hub == b.hub
+
+
+class TestAssignSignificance:
+    def make_index(self):
+        projector = LocalProjector(CENTER)
+        landmarks = [
+            Landmark(i, projector.to_point(i * 100.0, 0.0), f"L{i}", LandmarkKind.POI_CLUSTER)
+            for i in range(3)
+        ]
+        return LandmarkIndex(landmarks, projector)
+
+    def test_scores_written_to_landmarks(self):
+        index = self.make_index()
+        assign_significance(index, star_visits())
+        assert index.get(0).significance == 1.0
+        assert 0.0 < index.get(1).significance < 1.0
+
+    def test_unvisited_gets_floor(self):
+        index = self.make_index()
+        assign_significance(index, star_visits(), floor=0.05)
+        assert index.get(2).significance == 0.05
+
+    def test_invalid_floor_rejected(self):
+        index = self.make_index()
+        with pytest.raises(ConfigError):
+            assign_significance(index, star_visits(), floor=2.0)

@@ -1,0 +1,153 @@
+"""Tests for HMM map matching and the nearest-edge baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MapMatchError
+from repro.mapmatch import (
+    HMMMapMatcher,
+    MapMatchConfig,
+    NearestEdgeMatcher,
+    candidates_for_point,
+)
+from repro.trajectory import TrajectoryPoint
+
+
+def drive(projector, xy_times, noise=0.0, rng=None):
+    pts = []
+    for (x, y), t in xy_times:
+        if noise and rng is not None:
+            x += float(rng.normal(0, noise))
+            y += float(rng.normal(0, noise))
+        pts.append(TrajectoryPoint(projector.to_point(x, y), t))
+    return pts
+
+
+def eastbound_row0(projector, n=11, noise=0.0, rng=None):
+    """Points along row 0 of the micro network (y = 0), x = 0..1000."""
+    return drive(
+        projector,
+        [((i * 100.0, 0.0), i * 10.0) for i in range(n)],
+        noise=noise,
+        rng=rng,
+    )
+
+
+class TestCandidates:
+    def test_candidates_sorted_and_capped(self, micro_network, projector):
+        p = projector.to_point(250.0, 20.0)
+        cands = candidates_for_point(micro_network, p, radius_m=600.0, max_candidates=3)
+        assert len(cands) == 3
+        dists = [c.distance_m for c in cands]
+        assert dists == sorted(dists)
+
+    def test_no_candidates_far_away(self, micro_network, projector):
+        p = projector.to_point(90_000.0, 0.0)
+        assert candidates_for_point(micro_network, p, 60.0, 5) == []
+
+    def test_fraction_measured_from_u(self, micro_network, projector):
+        edge = micro_network.edge_between(0, 1)
+        p = projector.to_point(125.0, 10.0)
+        cands = candidates_for_point(micro_network, p, 60.0, 5)
+        target = next(c for c in cands if c.edge_id == edge.edge_id)
+        assert target.fraction == pytest.approx(0.25, abs=0.02)
+
+
+class TestHMMMatcher:
+    def test_config_validation(self):
+        with pytest.raises(MapMatchError):
+            MapMatchConfig(sigma_z_m=0.0)
+        with pytest.raises(MapMatchError):
+            MapMatchConfig(max_candidates=0)
+
+    def test_empty_input_rejected(self, micro_network):
+        with pytest.raises(MapMatchError):
+            HMMMapMatcher(micro_network).match([])
+
+    def test_all_points_offroad_rejected(self, micro_network, projector):
+        pts = [TrajectoryPoint(projector.to_point(50_000, 50_000), 0.0)]
+        with pytest.raises(MapMatchError):
+            HMMMapMatcher(micro_network).match(pts)
+
+    def test_clean_straight_match(self, micro_network, projector):
+        matcher = HMMMapMatcher(micro_network)
+        result = matcher.match(eastbound_row0(projector))
+        # Samples at intersections are legitimately ambiguous between the
+        # incident edges, so assert on travelled length, not mere presence.
+        significant = {
+            e.name for e, w in result.edge_traversals(micro_network) if w > 50.0
+        }
+        assert significant == {"Row 0 Avenue"}
+        assert result.breaks == []
+        assert len(result.matched) == 11
+
+    def test_edge_traversals_cover_route_length(self, micro_network, projector):
+        result = HMMMapMatcher(micro_network).match(eastbound_row0(projector))
+        total = sum(w for _, w in result.edge_traversals(micro_network))
+        assert total == pytest.approx(1000.0, abs=20.0)
+
+    def test_noisy_match_stays_on_route(self, micro_network, projector):
+        rng = np.random.default_rng(0)
+        matcher = HMMMapMatcher(micro_network)
+        pts = eastbound_row0(projector, noise=8.0, rng=rng)
+        result = matcher.match(pts)
+        names = {e.name for e in result.edge_sequence(micro_network)}
+        assert names == {"Row 0 Avenue"}
+
+    def test_l_shaped_route(self, micro_network, projector):
+        # East along row 0 to x=1000 then north along column 2.
+        east = [((i * 100.0, 0.0), i * 10.0) for i in range(11)]
+        north = [((1000.0, j * 100.0), 100.0 + j * 10.0) for j in range(1, 11)]
+        pts = drive(projector, east + north)
+        result = HMMMapMatcher(micro_network).match(pts)
+        significant = [
+            e.name for e, w in result.edge_traversals(micro_network) if w > 50.0
+        ]
+        assert significant[0] == "Row 0 Avenue"
+        assert significant[-1] == "Col 2 Lane"
+        assert set(significant) == {"Row 0 Avenue", "Col 2 Lane"}
+
+    def test_continuity_beats_nearest_edge(self, micro_network, projector):
+        # A point nudged toward the parallel row must still match row 0
+        # because the route continuity dominates: jumping to row 1 and back
+        # would require a 1 km detour.
+        pts = eastbound_row0(projector)
+        nudged = list(pts)
+        nudged[5] = TrajectoryPoint(projector.to_point(500.0, 251.0), 50.0)
+        result = HMMMapMatcher(
+            micro_network, MapMatchConfig(candidate_radius_m=300.0)
+        ).match(nudged)
+        matched_5 = next(m for m in result.matched if m.point_index == 5)
+        edge = micro_network.edge(matched_5.edge_id)
+        assert edge.name in ("Row 0 Avenue", "Col 1 Lane")
+
+    def test_offroad_gap_recorded_as_break(self, micro_network, projector):
+        pts = eastbound_row0(projector)
+        pts[4] = TrajectoryPoint(projector.to_point(400.0, 30_000.0), 40.0)
+        result = HMMMapMatcher(micro_network).match(pts)
+        assert 4 in result.breaks
+        assert len(result.matched) == 10
+
+    def test_matched_points_sorted(self, micro_network, projector):
+        result = HMMMapMatcher(micro_network).match(eastbound_row0(projector))
+        idx = [m.point_index for m in result.matched]
+        assert idx == sorted(idx)
+
+
+class TestNearestEdgeBaseline:
+    def test_matches_straight_route(self, micro_network, projector):
+        result = NearestEdgeMatcher(micro_network).match(eastbound_row0(projector))
+        significant = {
+            e.name for e, w in result.edge_traversals(micro_network) if w > 50.0
+        }
+        assert significant == {"Row 0 Avenue"}
+
+    def test_empty_rejected(self, micro_network):
+        with pytest.raises(MapMatchError):
+            NearestEdgeMatcher(micro_network).match([])
+
+    def test_offroad_becomes_break(self, micro_network, projector):
+        pts = eastbound_row0(projector)
+        pts[2] = TrajectoryPoint(projector.to_point(200.0, 40_000.0), 20.0)
+        result = NearestEdgeMatcher(micro_network).match(pts)
+        assert result.breaks == [2]

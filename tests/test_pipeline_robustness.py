@@ -1,0 +1,116 @@
+"""Failure-injection and fuzz tests for the end-to-end pipeline.
+
+Real GPS corpora contain duplicate timestamps, dead zones, teleport
+glitches, and absurd sampling rates; the pipeline must either produce a
+valid summary or raise the library's typed exceptions — never crash with
+an arbitrary error or emit malformed text.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError, ReproError
+from repro.trajectory import RawTrajectory, TrajectoryPoint
+
+
+def _valid_summary(summary) -> bool:
+    return (
+        bool(summary.text)
+        and summary.text.endswith(".")
+        and summary.partition_count >= 1
+        and summary.text.startswith("The car started from")
+    )
+
+
+@pytest.fixture(scope="module")
+def base_trip(scenario):
+    rng = np.random.default_rng(303)
+    return scenario.simulate_trips(1, depart_time=9 * 3600.0, rng=rng)[0]
+
+
+class TestCorruptedInput:
+    def test_duplicate_timestamps(self, scenario, base_trip):
+        points = []
+        for p in base_trip.raw:
+            points.append(p)
+            points.append(TrajectoryPoint(p.point, p.t))  # exact duplicate
+        trip = RawTrajectory(points, "dupes")
+        summary = scenario.stmaker.summarize(trip, k=2)
+        assert _valid_summary(summary)
+
+    def test_gps_dead_zone(self, scenario, base_trip):
+        # Remove the middle third of the samples (tunnel / urban canyon).
+        pts = list(base_trip.raw.points)
+        n = len(pts)
+        trip = RawTrajectory(pts[: n // 3] + pts[2 * n // 3 :], "deadzone")
+        summary = scenario.stmaker.summarize(trip, k=2)
+        assert _valid_summary(summary)
+
+    def test_teleport_glitch(self, scenario, base_trip):
+        # One sample jumps 3 km off-route and returns (multipath glitch).
+        pts = list(base_trip.raw.points)
+        mid = len(pts) // 2
+        projector = scenario.network.projector
+        x, y = projector.to_xy(pts[mid].point)
+        pts[mid] = TrajectoryPoint(projector.to_point(x + 3000.0, y), pts[mid].t)
+        summary = scenario.stmaker.summarize(RawTrajectory(pts, "glitch"), k=2)
+        assert _valid_summary(summary)
+
+    def test_heavy_noise(self, scenario, base_trip):
+        rng = np.random.default_rng(1)
+        projector = scenario.network.projector
+        pts = []
+        for p in base_trip.raw:
+            x, y = projector.to_xy(p.point)
+            pts.append(
+                TrajectoryPoint(
+                    projector.to_point(
+                        x + float(rng.normal(0, 25)), y + float(rng.normal(0, 25))
+                    ),
+                    p.t,
+                )
+            )
+        summary = scenario.stmaker.summarize(RawTrajectory(pts, "noisy"), k=2)
+        assert _valid_summary(summary)
+
+    def test_two_point_trajectory(self, scenario, base_trip):
+        trip = RawTrajectory(
+            [base_trip.raw[0], base_trip.raw[-1]], "twopoint"
+        )
+        try:
+            summary = scenario.stmaker.summarize(trip)
+            assert _valid_summary(summary)
+        except CalibrationError:
+            pass  # a typed failure is acceptable for degenerate input
+
+    def test_off_map_trajectory_raises_typed_error(self, scenario):
+        projector = scenario.network.projector
+        pts = [
+            TrajectoryPoint(projector.to_point(90_000.0 + i * 50.0, 90_000.0), i * 5.0)
+            for i in range(20)
+        ]
+        with pytest.raises(ReproError):
+            scenario.stmaker.summarize(RawTrajectory(pts, "offmap"))
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("seed", [11, 22, 33, 44, 55, 66])
+    def test_random_trips_always_summarize(self, scenario, seed):
+        rng = np.random.default_rng(seed)
+        hour = float(rng.uniform(0, 24))
+        trip = scenario.simulate_trips(1, depart_time=hour * 3600.0, rng=rng)[0]
+        for k in (None, 1, 3):
+            summary = scenario.stmaker.summarize(trip.raw, k=k)
+            assert _valid_summary(summary)
+            # Every sentence is well-formed.
+            for partition in summary.partitions:
+                assert partition.sentence.rstrip().endswith(".")
+                assert partition.source_name and partition.destination_name
+
+    @pytest.mark.parametrize("interval", [2.0, 10.0, 20.0])
+    def test_sampling_rates_always_summarize(self, scenario, base_trip, interval):
+        from repro.trajectory import downsample_by_time
+
+        variant = downsample_by_time(base_trip.raw, interval)
+        summary = scenario.stmaker.summarize(variant, k=2)
+        assert _valid_summary(summary)

@@ -1,0 +1,132 @@
+"""Tests for the synthetic city generator and SCC utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.geo import GeoPoint, LocalProjector
+from repro.roadnet import (
+    CityConfig,
+    RoadGrade,
+    RoadNetwork,
+    TrafficDirection,
+    dijkstra,
+    generate_city,
+    largest_scc_subnetwork,
+    strongly_connected_components,
+)
+
+
+class TestCityConfig:
+    def test_defaults_valid(self):
+        CityConfig()
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            CityConfig(blocks=2)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            CityConfig(one_way_fraction=1.5)
+        with pytest.raises(RoadNetworkError):
+            CityConfig(minor_removal_fraction=0.9)
+
+
+class TestGeneratedCity:
+    def test_deterministic_given_seed(self):
+        a = generate_city(CityConfig(blocks=8), np.random.default_rng(3))
+        b = generate_city(CityConfig(blocks=8), np.random.default_rng(3))
+        assert a.node_count == b.node_count
+        assert a.edge_count == b.edge_count
+        ea = sorted((e.u, e.v, int(e.grade), e.width_m) for e in a.edges())
+        eb = sorted((e.u, e.v, int(e.grade), e.width_m) for e in b.edges())
+        assert ea == eb
+
+    def test_all_grades_present(self, city):
+        grades = {e.grade for e in city.edges()}
+        assert RoadGrade.HIGHWAY in grades
+        assert RoadGrade.EXPRESS in grades
+        assert grades >= {RoadGrade.COUNTRY, RoadGrade.VILLAGE}
+
+    def test_has_one_way_streets(self, city):
+        directions = {e.direction for e in city.edges()}
+        assert TrafficDirection.ONE_WAY in directions
+        assert TrafficDirection.TWO_WAY in directions
+
+    def test_one_way_only_on_minor_roads(self, city):
+        for edge in city.edges():
+            if edge.direction is TrafficDirection.ONE_WAY:
+                assert edge.grade in (RoadGrade.VILLAGE, RoadGrade.FEEDER)
+
+    def test_widths_track_grade(self, city):
+        by_grade = {}
+        for edge in city.edges():
+            by_grade.setdefault(edge.grade, []).append(edge.width_m)
+        mean = {g: sum(ws) / len(ws) for g, ws in by_grade.items()}
+        assert mean[RoadGrade.HIGHWAY] > mean[RoadGrade.COUNTRY] > mean[RoadGrade.FEEDER]
+
+    def test_strongly_connected(self, city):
+        components = strongly_connected_components(city)
+        assert len(components) == 1
+
+    def test_routable_between_random_nodes(self, city):
+        rng = np.random.default_rng(1)
+        ids = city.node_ids()
+        for _ in range(10):
+            i, j = (int(k) for k in rng.choice(len(ids), size=2, replace=False))
+            cost, path = dijkstra(city, ids[i], ids[j])
+            assert cost > 0.0
+            assert len(path) >= 2
+
+    def test_edges_have_positive_length_and_names(self, city):
+        for edge in city.edges():
+            assert edge.length_m > 0.0
+            assert edge.name
+
+    def test_city_extent_matches_config(self):
+        config = CityConfig(blocks=10, block_size_m=300.0)
+        city = generate_city(config, np.random.default_rng(0))
+        box = city.bounding_box()
+        projector = LocalProjector(config.center)
+        min_xy = projector.to_xy(GeoPoint(box.min_lat, box.min_lon))
+        max_xy = projector.to_xy(GeoPoint(box.max_lat, box.max_lon))
+        extent = 10 * 300.0
+        assert max_xy[0] - min_xy[0] == pytest.approx(extent, abs=200.0)
+        assert max_xy[1] - min_xy[1] == pytest.approx(extent, abs=200.0)
+
+    def test_names_unique_per_line_grade(self, city):
+        # A single named road should be composed of same-grade edges.
+        by_name = {}
+        for edge in city.edges():
+            by_name.setdefault(edge.name, set()).add(edge.grade)
+        assert all(len(grades) == 1 for grades in by_name.values())
+
+
+class TestSccUtilities:
+    def test_two_components_detected(self):
+        projector = LocalProjector(GeoPoint(39.91, 116.40))
+        net = RoadNetwork(projector)
+        for i in range(4):
+            net.add_node(projector.to_point(i * 100.0, 0.0))
+        # Component A: 0 <-> 1; component B: 2 <-> 3; bridge 1 -> 2 one-way.
+        net.add_edge(0, 1, RoadGrade.FEEDER, 5.0, TrafficDirection.TWO_WAY, "a")
+        net.add_edge(2, 3, RoadGrade.FEEDER, 5.0, TrafficDirection.TWO_WAY, "b")
+        net.add_edge(1, 2, RoadGrade.FEEDER, 5.0, TrafficDirection.ONE_WAY, "bridge")
+        components = strongly_connected_components(net)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 2]
+
+    def test_largest_scc_preserves_ids(self):
+        projector = LocalProjector(GeoPoint(39.91, 116.40))
+        net = RoadNetwork(projector)
+        for i in range(5):
+            net.add_node(projector.to_point(i * 100.0, 0.0))
+        net.add_edge(0, 1, RoadGrade.FEEDER, 5.0, TrafficDirection.TWO_WAY, "a")
+        net.add_edge(1, 2, RoadGrade.FEEDER, 5.0, TrafficDirection.TWO_WAY, "a")
+        net.add_edge(3, 4, RoadGrade.FEEDER, 5.0, TrafficDirection.ONE_WAY, "c")
+        pruned = largest_scc_subnetwork(net)
+        assert sorted(pruned.node_ids()) == [0, 1, 2]
+        assert pruned.edge_between(0, 1) is not None
+
+    def test_already_connected_returned_as_is(self, micro_network):
+        assert largest_scc_subnetwork(micro_network) is micro_network

@@ -1,0 +1,57 @@
+"""Tests for road-network JSON serialization."""
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.roadnet import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_structure(self, micro_network):
+        rebuilt = network_from_dict(network_to_dict(micro_network))
+        assert rebuilt.node_count == micro_network.node_count
+        assert rebuilt.edge_count == micro_network.edge_count
+        for edge in micro_network.edges():
+            twin = rebuilt.edge(edge.edge_id)
+            assert (twin.u, twin.v) == (edge.u, edge.v)
+            assert twin.grade == edge.grade
+            assert twin.width_m == edge.width_m
+            assert twin.direction == edge.direction
+            assert twin.name == edge.name
+            assert twin.length_m == pytest.approx(edge.length_m, rel=1e-9)
+
+    def test_file_roundtrip(self, micro_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(micro_network, path)
+        rebuilt = load_network(path)
+        assert rebuilt.node_count == micro_network.node_count
+        assert rebuilt.edge_count == micro_network.edge_count
+
+    def test_projector_origin_preserved(self, micro_network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(micro_network, path)
+        rebuilt = load_network(path)
+        assert rebuilt.projector.origin == micro_network.projector.origin
+
+    def test_city_roundtrip(self, city, tmp_path):
+        path = tmp_path / "city.json"
+        save_network(city, path)
+        rebuilt = load_network(path)
+        assert rebuilt.edge_count == city.edge_count
+        # Spot-check routing still works on the rebuilt network.
+        ids = rebuilt.node_ids()
+        from repro.roadnet import dijkstra
+
+        cost, _ = dijkstra(rebuilt, ids[0], ids[-1])
+        assert cost > 0.0
+
+    def test_unsupported_version_rejected(self, micro_network):
+        data = network_to_dict(micro_network)
+        data["version"] = 999
+        with pytest.raises(RoadNetworkError):
+            network_from_dict(data)

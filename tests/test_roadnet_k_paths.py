@@ -1,0 +1,87 @@
+"""Tests for Yen's k-shortest paths, cross-checked against networkx."""
+
+from itertools import islice
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import NoPathError, RoadNetworkError
+from repro.roadnet import k_shortest_paths
+
+
+def to_networkx(network):
+    g = nx.DiGraph()
+    for node in network.nodes():
+        g.add_node(node.node_id)
+    for node in network.nodes():
+        for edge, neighbor in network.out_edges(node.node_id):
+            g.add_edge(node.node_id, neighbor, weight=edge.length_m)
+    return g
+
+
+class TestKPathsMicro:
+    def test_first_path_is_shortest(self, micro_network):
+        paths = k_shortest_paths(micro_network, 0, 2, k=1)
+        assert len(paths) == 1
+        cost, path = paths[0]
+        assert path == [0, 1, 2]
+        assert cost == pytest.approx(1000.0, rel=1e-3)
+
+    def test_paths_sorted_and_distinct(self, micro_network):
+        paths = k_shortest_paths(micro_network, 0, 8, k=4)
+        costs = [c for c, _ in paths]
+        assert costs == sorted(costs)
+        as_tuples = {tuple(p) for _, p in paths}
+        assert len(as_tuples) == len(paths)
+
+    def test_paths_are_loopless_and_valid(self, micro_network):
+        for cost, path in k_shortest_paths(micro_network, 0, 8, k=5):
+            assert len(set(path)) == len(path)  # loopless
+            assert path[0] == 0 and path[-1] == 8
+            assert micro_network.path_length_m(path) == pytest.approx(cost, rel=1e-9)
+
+    def test_respects_one_way(self, micro_network):
+        # No returned path may traverse the one-way column downward.
+        for _, path in k_shortest_paths(micro_network, 6, 0, k=6):
+            for u, v in zip(path, path[1:]):
+                assert micro_network.edge_between(u, v) is not None
+
+    def test_invalid_k(self, micro_network):
+        with pytest.raises(RoadNetworkError):
+            k_shortest_paths(micro_network, 0, 2, k=0)
+
+    def test_unreachable_raises(self, micro_network, projector):
+        from repro.roadnet import RoadNetwork
+
+        net = RoadNetwork(projector)
+        net.add_node(projector.to_point(0, 0))
+        net.add_node(projector.to_point(1000, 0))
+        with pytest.raises(NoPathError):
+            k_shortest_paths(net, 0, 1, k=2)
+
+    def test_exhausts_gracefully(self, micro_network):
+        # Asking for more paths than exist returns what exists.
+        paths = k_shortest_paths(micro_network, 0, 1, k=50)
+        assert 1 <= len(paths) < 50
+
+
+class TestAgainstNetworkx:
+    def test_costs_match_networkx(self, city):
+        g = to_networkx(city)
+        rng = np.random.default_rng(8)
+        ids = city.node_ids()
+        for _ in range(5):
+            i, j = (int(x) for x in rng.choice(len(ids), size=2, replace=False))
+            source, target = ids[i], ids[j]
+            ours = k_shortest_paths(city, source, target, k=4)
+            theirs = list(
+                islice(nx.shortest_simple_paths(g, source, target, weight="weight"), 4)
+            )
+            their_costs = [
+                nx.path_weight(g, p, weight="weight") for p in theirs
+            ]
+            our_costs = [c for c, _ in ours]
+            assert len(our_costs) == len(their_costs)
+            for a, b in zip(our_costs, their_costs):
+                assert a == pytest.approx(b, rel=1e-9)

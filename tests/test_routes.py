@@ -1,0 +1,144 @@
+"""Tests for the transfer network, popular-route miner, and feature map."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.routes import HistoricalFeatureMap, PopularRouteMiner, TransferNetwork
+from repro.trajectory import SymbolicEntry, SymbolicTrajectory
+
+
+def symbolic(ids):
+    return SymbolicTrajectory([SymbolicEntry(i, float(k)) for k, i in enumerate(ids)])
+
+
+class TestTransferNetwork:
+    def test_counts_accumulate(self):
+        tn = TransferNetwork()
+        tn.add_transition(1, 2)
+        tn.add_transition(1, 2, count=3)
+        assert tn.transition_count(1, 2) == 4
+        assert tn.total_transitions == 4
+
+    def test_nonpositive_count_ignored(self):
+        tn = TransferNetwork()
+        tn.add_transition(1, 2, count=0)
+        assert tn.transition_count(1, 2) == 0
+
+    def test_add_trajectory(self):
+        tn = TransferNetwork()
+        tn.add_trajectory(symbolic([1, 2, 3, 2]))
+        assert tn.transition_count(1, 2) == 1
+        assert tn.transition_count(2, 3) == 1
+        assert tn.transition_count(3, 2) == 1
+        assert tn.out_degree(2) == 1
+
+    def test_probability(self):
+        tn = TransferNetwork()
+        tn.add_transition(1, 2, count=3)
+        tn.add_transition(1, 3, count=1)
+        assert tn.transition_probability(1, 2) == pytest.approx(0.75)
+        assert tn.transition_probability(1, 9) == 0.0
+        assert tn.transition_probability(9, 1) == 0.0
+
+    def test_landmarks_and_edges(self):
+        tn = TransferNetwork()
+        tn.add_trajectories([symbolic([1, 2]), symbolic([2, 3])])
+        assert tn.landmarks() == {1, 2, 3}
+        assert sorted(tn.edges()) == [(1, 2, 1), (2, 3, 1)]
+
+
+class TestPopularRouteMiner:
+    def build(self):
+        """History: 10 trajectories A->B->D, 2 trajectories A->C->D."""
+        tn = TransferNetwork()
+        for _ in range(10):
+            tn.add_trajectory(symbolic(["A", "B", "D"]))
+        for _ in range(2):
+            tn.add_trajectory(symbolic(["A", "C", "D"]))
+        return tn
+
+    def test_majority_route_wins(self):
+        miner = PopularRouteMiner(self.build())
+        assert miner.popular_route("A", "D") == ["A", "B", "D"]
+
+    def test_source_equals_target(self):
+        miner = PopularRouteMiner(self.build())
+        assert miner.popular_route("A", "A") == ["A"]
+
+    def test_unreachable_returns_none(self):
+        miner = PopularRouteMiner(self.build())
+        assert miner.popular_route("D", "A") is None
+        assert miner.popular_route("A", "Z") is None
+
+    def test_min_support_filters_rare_edges(self):
+        # Direct hop: probability 4/9 = 0.44; two-hop alternative:
+        # 5/9 * 5/50 = 0.056.  By probability the direct hop wins, but with
+        # min_support = 5 its 4 observations fall below the threshold and the
+        # supported two-hop route is returned instead.
+        tn = TransferNetwork()
+        tn.add_transition("A", "D", count=4)
+        tn.add_transition("A", "B", count=5)
+        tn.add_transition("B", "D", count=5)
+        tn.add_transition("B", "X", count=45)
+        assert PopularRouteMiner(tn).popular_route("A", "D") == ["A", "D"]
+        miner = PopularRouteMiner(tn, min_support=5)
+        assert miner.popular_route("A", "D") == ["A", "B", "D"]
+
+    def test_invalid_min_support(self):
+        with pytest.raises(ConfigError):
+            PopularRouteMiner(TransferNetwork(), min_support=0)
+
+    def test_popularity_product(self):
+        miner = PopularRouteMiner(self.build())
+        p_top = miner.route_popularity(["A", "B", "D"])
+        p_alt = miner.route_popularity(["A", "C", "D"])
+        assert p_top > p_alt > 0.0
+        assert miner.route_popularity(["A", "Z"]) == 0.0
+        assert miner.route_popularity(["A"]) == 1.0
+
+    def test_longer_but_more_popular_beats_direct(self):
+        tn = TransferNetwork()
+        # Direct hop A->D exists but is rare; the two-hop route dominates.
+        tn.add_transition("A", "D", count=1)
+        tn.add_transition("A", "B", count=20)
+        tn.add_transition("B", "D", count=20)
+        tn.add_transition("B", "X", count=1)
+        miner = PopularRouteMiner(tn)
+        route = miner.popular_route("A", "D")
+        assert route == ["A", "B", "D"]
+
+
+class TestHistoricalFeatureMap:
+    def test_mean_per_edge(self):
+        fm = HistoricalFeatureMap()
+        fm.add_observation(1, 2, {"speed": 10.0})
+        fm.add_observation(1, 2, {"speed": 20.0})
+        assert fm.regular_value(1, 2, "speed") == pytest.approx(15.0)
+        assert fm.observation_count(1, 2, "speed") == 2
+
+    def test_global_fallback(self):
+        fm = HistoricalFeatureMap()
+        fm.add_observation(1, 2, {"speed": 10.0})
+        fm.add_observation(3, 4, {"speed": 30.0})
+        # Edge (5, 6) unseen: fall back to the global mean.
+        assert fm.regular_value(5, 6, "speed") == pytest.approx(20.0)
+
+    def test_unknown_feature_returns_none(self):
+        fm = HistoricalFeatureMap()
+        fm.add_observation(1, 2, {"speed": 10.0})
+        assert fm.regular_value(1, 2, "stays") is None
+        assert fm.global_average("stays") is None
+
+    def test_has_edge_and_count(self):
+        fm = HistoricalFeatureMap()
+        assert not fm.has_edge(1, 2)
+        fm.add_observation(1, 2, {"speed": 1.0})
+        assert fm.has_edge(1, 2)
+        assert not fm.has_edge(2, 1)
+        assert fm.edge_count == 1
+
+    def test_multi_feature_observation(self):
+        fm = HistoricalFeatureMap()
+        fm.add_observation(1, 2, {"speed": 12.0, "stays": 1.0})
+        assert fm.regular_value(1, 2, "stays") == 1.0
+        assert fm.observation_count(1, 2, "speed") == 1

@@ -1,0 +1,201 @@
+"""Tests for the traffic model, trip simulator, check-ins, and fleet."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.landmarks import LandmarkKind
+from repro.simulate import (
+    SECONDS_PER_DAY,
+    CheckinConfig,
+    TrafficModel,
+    TripConfig,
+    TripSimulator,
+    generate_checkins,
+    landmark_popularity,
+)
+from repro.trajectory import average_speed_ms
+
+
+class TestTrafficModel:
+    def test_night_is_fastest(self):
+        traffic = TrafficModel()
+        night = traffic.speed_factor(2 * 3600.0)
+        assert night == pytest.approx(0.70)
+        assert night >= traffic.speed_factor(12 * 3600.0)
+        assert night > traffic.speed_factor(8 * 3600.0)
+
+    def test_rush_hour_slow(self):
+        traffic = TrafficModel()
+        assert traffic.speed_factor(8 * 3600.0) < 0.55
+        assert traffic.speed_factor(18 * 3600.0) < 0.55
+
+    def test_factor_wraps_across_days(self):
+        traffic = TrafficModel()
+        t = 8 * 3600.0
+        assert traffic.speed_factor(t) == pytest.approx(
+            traffic.speed_factor(t + 3 * SECONDS_PER_DAY)
+        )
+
+    def test_stop_probability_peaks_in_rush(self):
+        traffic = TrafficModel()
+        assert traffic.stop_probability(8 * 3600.0) > traffic.stop_probability(2 * 3600.0)
+
+    def test_is_rush_hour(self):
+        traffic = TrafficModel()
+        assert traffic.is_rush_hour(8 * 3600.0)
+        assert traffic.is_rush_hour(18 * 3600.0)
+        assert not traffic.is_rush_hour(13 * 3600.0)
+        assert not traffic.is_rush_hour(2 * 3600.0)
+
+    def test_malformed_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            TrafficModel(speed_profile=((0.0, 1.0), (12.0, 0.5)))  # no 24 h point
+
+
+class TestTripConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TripConfig(sample_interval_s=0.0)
+        with pytest.raises(ConfigError):
+            TripConfig(gps_noise_m=-1.0)
+        with pytest.raises(ConfigError):
+            TripConfig(stop_duration_range=(10.0, 5.0))
+        with pytest.raises(ConfigError):
+            TripConfig(u_turn_probability=1.5)
+
+
+class TestTripSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self, city):
+        return TripSimulator(city, TrafficModel(), TripConfig())
+
+    def test_trip_shape(self, city, simulator):
+        rng = np.random.default_rng(0)
+        ids = city.node_ids()
+        trip = simulator.simulate(ids[0], ids[-1], 10 * 3600.0, rng, "t0")
+        assert trip.raw.trajectory_id == "t0"
+        assert len(trip.raw) > 10
+        assert trip.raw.start_time == pytest.approx(10 * 3600.0)
+        assert trip.route_nodes[0] == ids[0]
+
+    def test_samples_near_route(self, city, simulator):
+        rng = np.random.default_rng(1)
+        ids = city.node_ids()
+        trip = simulator.simulate(ids[0], ids[-1], 3 * 3600.0, rng)
+        for sample in trip.raw.points[:: max(1, len(trip.raw) // 20)]:
+            hit = city.nearest_edge(sample.point, max_radius_m=120.0)
+            assert hit is not None
+
+    def test_deterministic_given_rng(self, city, simulator):
+        ids = city.node_ids()
+        a = simulator.simulate(ids[0], ids[-1], 3600.0, np.random.default_rng(5))
+        b = simulator.simulate(ids[0], ids[-1], 3600.0, np.random.default_rng(5))
+        assert [p.t for p in a.raw] == [p.t for p in b.raw]
+        assert [p.point for p in a.raw] == [p.point for p in b.raw]
+
+    def test_rush_hour_slower_than_night(self, city):
+        config = TripConfig(u_turn_probability=0.0, mid_edge_stop_probability=0.0)
+        simulator = TripSimulator(city, TrafficModel(), config)
+        ids = city.node_ids()
+        rush = simulator.simulate(ids[0], ids[-1], 8 * 3600.0, np.random.default_rng(2))
+        night = simulator.simulate(ids[0], ids[-1], 2 * 3600.0, np.random.default_rng(2))
+        v_rush = average_speed_ms(rush.raw.points, city.projector)
+        v_night = average_speed_ms(night.raw.points, city.projector)
+        assert v_rush < v_night * 0.75
+
+    def test_stops_recorded_with_durations(self, city):
+        config = TripConfig(u_turn_probability=0.0)
+        simulator = TripSimulator(city, TrafficModel(), config)
+        ids = city.node_ids()
+        # Rush hour, long trip: stops are near-certain across attempts.
+        rng = np.random.default_rng(3)
+        trips = [
+            simulator.simulate(ids[0], ids[-1], 8 * 3600.0, rng) for _ in range(5)
+        ]
+        stops = [s for t in trips for s in t.stops]
+        assert stops
+        lo, hi = config.stop_duration_range
+        assert all(lo <= s.duration_s <= hi for s in stops)
+
+    def test_forced_u_turn_recorded(self, city):
+        config = TripConfig(u_turn_probability=1.0)
+        simulator = TripSimulator(city, TrafficModel(), config)
+        ids = city.node_ids()
+        rng = np.random.default_rng(4)
+        trip = simulator.simulate(ids[0], ids[-1], 12 * 3600.0, rng)
+        # Lost drivers make one to three corrections per episode.
+        assert 1 <= len(trip.u_turns) <= 3
+        # The trip still reaches its destination after the U-turn.
+        end = trip.raw[-1].point
+        dest = city.node(trip.destination).point
+        assert city.projector.distance_m(end, dest) < 50.0
+
+    def test_timestamps_monotone(self, city, simulator):
+        ids = city.node_ids()
+        rng = np.random.default_rng(6)
+        trip = simulator.simulate(ids[3], ids[-4], 15 * 3600.0, rng)
+        times = [p.t for p in trip.raw]
+        assert times == sorted(times)
+
+
+class TestCheckins:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CheckinConfig(n_users=0)
+        with pytest.raises(ConfigError):
+            CheckinConfig(popularity_exponent=0.0)
+
+    def test_checkin_count(self, scenario):
+        rng = np.random.default_rng(0)
+        config = CheckinConfig(n_users=50, n_checkins=500)
+        visits = generate_checkins(scenario.landmarks, config, rng)
+        assert len(visits) == 500
+        assert all(v.landmark in scenario.landmarks for v in visits)
+
+    def test_popularity_long_tail(self, scenario):
+        rng = np.random.default_rng(1)
+        config = CheckinConfig(n_users=100, n_checkins=4000)
+        popularity = landmark_popularity(scenario.landmarks, config, rng)
+        values = sorted(popularity.values(), reverse=True)
+        top_decile = sum(values[: len(values) // 10])
+        assert top_decile > 0.5 * sum(values)
+
+    def test_poi_clusters_boosted_on_average(self, scenario):
+        rng = np.random.default_rng(2)
+        popularity = landmark_popularity(scenario.landmarks, CheckinConfig(), rng)
+        poi = [
+            popularity[lm.landmark_id]
+            for lm in scenario.landmarks
+            if lm.kind is LandmarkKind.POI_CLUSTER
+        ]
+        turning = [
+            popularity[lm.landmark_id]
+            for lm in scenario.landmarks
+            if lm.kind is LandmarkKind.TURNING_POINT
+        ]
+        assert np.mean(poi) > np.mean(turning)
+
+
+class TestScenario:
+    def test_scenario_components(self, scenario):
+        assert scenario.network.node_count > 50
+        assert len(scenario.landmarks) > 50
+        assert scenario.stmaker.transfers.total_transitions > 100
+        assert scenario.stmaker.feature_map.edge_count > 50
+
+    def test_significance_assigned(self, scenario):
+        scores = [lm.significance for lm in scenario.landmarks]
+        assert max(scores) == 1.0
+        assert min(scores) > 0.0
+        # Long tail: most landmarks have small significance.
+        assert np.median(scores) < 0.2
+
+    def test_test_trips_fresh_and_deterministic(self):
+        from repro.simulate import CityScenario, ScenarioConfig
+
+        a = CityScenario.build(ScenarioConfig(seed=11, n_training_trips=30))
+        b = CityScenario.build(ScenarioConfig(seed=11, n_training_trips=30))
+        trip_a = a.simulate_trip(depart_time=9 * 3600.0)
+        trip_b = b.simulate_trip(depart_time=9 * 3600.0)
+        assert [p.t for p in trip_a.raw] == [p.t for p in trip_b.raw]

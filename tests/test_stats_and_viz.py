@@ -1,0 +1,82 @@
+"""Tests for scenario statistics and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, GeometryError
+from repro.simulate.stats import (
+    corpus_statistics,
+    landmark_statistics,
+    network_statistics,
+)
+from repro.viz import render_summary_map, render_trajectory
+
+
+class TestNetworkStatistics:
+    def test_city_statistics(self, city):
+        stats = network_statistics(city)
+        assert stats.nodes == city.node_count
+        assert stats.edges == city.edge_count
+        assert stats.total_length_km > 10.0
+        assert sum(stats.length_share_by_grade.values()) == pytest.approx(1.0)
+        assert 0.0 < stats.one_way_share < 0.5
+
+    def test_empty_network_rejected(self, projector):
+        from repro.roadnet import RoadNetwork
+
+        with pytest.raises(ConfigError):
+            network_statistics(RoadNetwork(projector))
+
+
+class TestCorpusStatistics:
+    def test_corpus(self, scenario):
+        rng = np.random.default_rng(3)
+        trips = scenario.simulate_trips(10, rng=rng)
+        stats = corpus_statistics(trips, scenario.network)
+        assert stats.trips == 10
+        assert stats.mean_samples_per_trip > 10
+        assert stats.mean_length_km > 1.0
+        assert 5.0 < stats.mean_speed_kmh < 120.0
+        assert 0.0 <= stats.trips_with_stops <= 1.0
+
+    def test_empty_rejected(self, scenario):
+        with pytest.raises(ConfigError):
+            corpus_statistics([], scenario.network)
+
+
+class TestLandmarkStatistics:
+    def test_scenario_landmarks(self, scenario):
+        stats = landmark_statistics(scenario.landmarks)
+        assert stats["total"] == len(scenario.landmarks)
+        assert stats["poi_clusters"] + stats["turning_points"] == stats["total"]
+        assert stats["significance_max"] == 1.0
+
+
+class TestAsciiRendering:
+    def test_render_trajectory_shape(self, scenario):
+        rng = np.random.default_rng(4)
+        trip = scenario.simulate_trips(1, rng=rng)[0]
+        canvas = render_trajectory(scenario.network, trip.raw, width=60, height=20)
+        assert len(canvas.rows) == 20
+        assert all(len(row) == 60 for row in canvas.rows)
+        joined = "\n".join(canvas.rows)
+        assert "*" in joined  # the track is drawn
+        assert "." in joined or ":" in joined  # roads are drawn
+
+    def test_mentioned_landmarks_lettered(self, scenario):
+        rng = np.random.default_rng(5)
+        trip = scenario.simulate_trips(1, rng=rng)[0]
+        summary = scenario.stmaker.summarize(trip.raw, k=2)
+        canvas = render_summary_map(
+            scenario.network, trip.raw, summary, scenario.landmarks
+        )
+        assert canvas.legend
+        assert canvas.legend[0] == "landmarks:"
+        assert any("A = " in line for line in canvas.legend)
+        assert "A" in canvas.text()
+
+    def test_canvas_too_small_rejected(self, scenario):
+        rng = np.random.default_rng(6)
+        trip = scenario.simulate_trips(1, rng=rng)[0]
+        with pytest.raises(GeometryError):
+            render_trajectory(scenario.network, trip.raw, width=5, height=2)

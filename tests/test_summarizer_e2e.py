@@ -1,0 +1,175 @@
+"""End-to-end tests of the STMaker pipeline on the simulated city."""
+
+import numpy as np
+import pytest
+
+from repro.core import SummarizerConfig
+from repro.exceptions import ConfigError
+from repro.features import SPEED, STAY_POINTS, U_TURNS
+from repro.simulate import TripConfig, TripSimulator
+from repro.trajectory import downsample_by_time
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestSummarizeBasics:
+    def test_summary_structure(self, scenario):
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        summary = scenario.stmaker.summarize(trip.raw)
+        assert summary.text
+        assert summary.partition_count >= 1
+        assert summary.text.endswith(".")
+        assert summary.partitions[0].sentence.startswith("The car started from the ")
+
+    def test_k_controls_partition_count(self, scenario):
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        for k in (1, 2, 3):
+            summary = scenario.stmaker.summarize(trip.raw, k=k)
+            assert summary.partition_count == k
+
+    def test_k_one_single_sentence(self, scenario):
+        trip = scenario.simulate_trip(depart_time=14 * 3600.0)
+        summary = scenario.stmaker.summarize(trip.raw, k=1)
+        assert summary.partition_count == 1
+        assert "Then it moved" not in summary.text
+
+    def test_huge_k_clamped(self, scenario):
+        trip = scenario.simulate_trip(depart_time=14 * 3600.0)
+        summary = scenario.stmaker.summarize(trip.raw, k=10_000)
+        symbolic = scenario.stmaker.calibrator.calibrate(trip.raw)
+        assert summary.partition_count == symbolic.segment_count
+
+    def test_partitions_tile_the_trajectory(self, scenario):
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        summary = scenario.stmaker.summarize(trip.raw, k=3)
+        spans = [p.span for p in summary.partitions]
+        assert spans[0].start_seg == 0
+        for a, b in zip(spans, spans[1:]):
+            assert b.start_seg == a.end_seg + 1
+
+    def test_endpoint_names_chain(self, scenario):
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        summary = scenario.stmaker.summarize(trip.raw, k=3)
+        for a, b in zip(summary.partitions, summary.partitions[1:]):
+            assert a.destination_name == b.source_name
+
+    def test_deterministic_summaries(self, scenario):
+        trip = scenario.simulate_trip(depart_time=16 * 3600.0)
+        a = scenario.stmaker.summarize(trip.raw, k=2)
+        b = scenario.stmaker.summarize(trip.raw, k=2)
+        assert a.text == b.text
+
+
+class TestSummaryContent:
+    def test_stops_surface_in_summary(self, scenario, rng):
+        # Find a test trip with substantial dwell time; its summary should
+        # mention staying points.
+        for _ in range(10):
+            trip = scenario.simulate_trip(depart_time=8 * 3600.0, rng=rng)
+            total_stop = sum(s.duration_s for s in trip.stops)
+            if total_stop >= 90.0:
+                summary = scenario.stmaker.summarize(trip.raw)
+                if "staying point" in summary.text:
+                    return
+        pytest.fail("no summary mentioned staying points despite long stops")
+
+    def test_u_turn_surfaces_in_summary(self, scenario):
+        # A single U-turn dilutes over a long partition (Sec. V-B divides by
+        # |TP|) — exactly why the paper's Fig. 10(b) shows moving features
+        # appearing more as k grows.  Use a finer granularity here.
+        config = TripConfig(u_turn_probability=1.0)
+        simulator = TripSimulator(scenario.network, scenario.traffic, config)
+        rng = np.random.default_rng(77)
+        for _ in range(8):
+            origin, destination = scenario.fleet.sample_od(rng)
+            trip = simulator.simulate(origin, destination, 11 * 3600.0, rng)
+            summary = scenario.stmaker.summarize(trip.raw, k=6)
+            if "U-turn" in summary.text:
+                return
+        pytest.fail("no summary mentioned the forced U-turn")
+
+    def test_no_zero_count_phrases(self, scenario, rng):
+        for _ in range(5):
+            trip = scenario.simulate_trip(depart_time=12 * 3600.0, rng=rng)
+            text = scenario.stmaker.summarize(trip.raw).text
+            assert "zero staying" not in text
+            assert "zero U-turn" not in text
+
+    def test_smooth_partition_reads_smoothly(self, scenario, rng):
+        # Night trips on the usual routes often have nothing to report.
+        texts = [
+            scenario.stmaker.summarize(
+                scenario.simulate_trip(depart_time=2 * 3600.0, rng=rng).raw, k=4
+            ).text
+            for _ in range(6)
+        ]
+        assert any("smoothly" in text for text in texts)
+
+    def test_selected_features_meet_threshold(self, scenario, rng):
+        trip = scenario.simulate_trip(depart_time=9 * 3600.0, rng=rng)
+        summary = scenario.stmaker.summarize(trip.raw, k=2)
+        threshold = scenario.stmaker.config.irregular_threshold
+        for partition in summary.partitions:
+            for assessment in partition.selected:
+                assert assessment.irregular_rate >= threshold
+            for assessment in partition.assessments:
+                if assessment.irregular_rate < threshold:
+                    assert assessment not in partition.selected
+
+
+class TestSamplingInvariance:
+    def test_downsampled_trip_similar_summary(self, scenario):
+        """Paper Sec. II-A: sampling strategy must not change the story."""
+        rng = np.random.default_rng(5)
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0, rng=rng)
+        sparse = downsample_by_time(trip.raw, 15.0)
+        dense_symbolic = scenario.stmaker.calibrator.calibrate(trip.raw)
+        sparse_symbolic = scenario.stmaker.calibrator.calibrate(sparse)
+        dense_ids = dense_symbolic.landmark_ids()
+        sparse_ids = sparse_symbolic.landmark_ids()
+        # The landmark skeletons must agree almost everywhere.
+        common = set(dense_ids) & set(sparse_ids)
+        assert len(common) >= 0.8 * max(len(dense_ids), len(sparse_ids))
+        dense_summary = scenario.stmaker.summarize_calibrated(trip.raw, dense_symbolic, k=1)
+        sparse_summary = scenario.stmaker.summarize_calibrated(sparse, sparse_symbolic, k=1)
+        assert dense_summary.partitions[0].source_name == (
+            sparse_summary.partitions[0].source_name
+        )
+        assert dense_summary.partitions[0].destination_name == (
+            sparse_summary.partitions[0].destination_name
+        )
+
+
+class TestWeightEffects:
+    def test_higher_speed_weight_selects_speed_more(self, scenario):
+        rng_low = np.random.default_rng(42)
+        rng_high = np.random.default_rng(42)
+        low = scenario.summarizer_with(
+            SummarizerConfig(feature_weights={SPEED: 0.25})
+        )
+        high = scenario.summarizer_with(
+            SummarizerConfig(feature_weights={SPEED: 4.0})
+        )
+        low_hits = high_hits = 0
+        trips = scenario.simulate_trips(12, depart_time=8 * 3600.0)
+        for trip in trips:
+            if SPEED in low.summarize(trip.raw, k=2).selected_feature_keys():
+                low_hits += 1
+            if SPEED in high.summarize(trip.raw, k=2).selected_feature_keys():
+                high_hits += 1
+        assert high_hits >= low_hits
+
+    def test_with_config_shares_history(self, scenario):
+        other = scenario.summarizer_with(SummarizerConfig(ca=1.0))
+        assert other.transfers is scenario.stmaker.transfers
+        assert other.feature_map is scenario.stmaker.feature_map
+        assert other.config.ca == 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            SummarizerConfig(ca=-1.0)
+        with pytest.raises(ConfigError):
+            SummarizerConfig(feature_weights={"speed": -2.0})

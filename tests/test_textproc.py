@@ -1,0 +1,186 @@
+"""Tests for tokenizer, TF-IDF, k-means, and the inverted index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.textproc import (
+    InvertedIndex,
+    TfidfVectorizer,
+    cosine_similarity_matrix,
+    kmeans,
+    tokenize,
+    tokenize_filtered,
+    top_terms,
+)
+
+DOCS = [
+    "The car started from the Daoxiang Community to the Haidian Hospital "
+    "with two staying points.",
+    "Then it moved through a highway with the speed of 80 km/h.",
+    "The car moved through a feeder road with conducting one U-turn.",
+    "The car started from the Haidian Hospital to the Suzhou Station smoothly.",
+]
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("The Car MOVED") == ["the", "car", "moved"]
+
+    def test_hyphenated_preserved(self):
+        assert "u-turn" in tokenize("one U-turn at Zhichun Road")
+
+    def test_filtered_removes_stopwords_and_numbers(self):
+        tokens = tokenize_filtered("the car moved with 2 staying points")
+        assert "the" not in tokens
+        assert "2" not in tokens
+        assert "staying" in tokens
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestTfidf:
+    def test_fit_requires_documents(self):
+        with pytest.raises(ConfigError):
+            TfidfVectorizer().fit([])
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ConfigError):
+            TfidfVectorizer().transform(DOCS)
+
+    def test_shapes(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform(DOCS)
+        assert matrix.shape == (4, len(vec.vocabulary))
+
+    def test_rows_unit_norm(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_similar_documents_closer(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS)
+        sims = cosine_similarity_matrix(matrix)
+        # Doc 0 and 3 share 'daoxiang/haidian hospital' vocabulary; doc 0
+        # and 1 share almost nothing.
+        assert sims[0, 3] > sims[0, 1]
+
+    def test_min_df_prunes_rare_terms(self):
+        loose = TfidfVectorizer(min_df=1).fit(DOCS)
+        strict = TfidfVectorizer(min_df=2).fit(DOCS)
+        assert len(strict.vocabulary) < len(loose.vocabulary)
+
+    def test_unknown_terms_ignored_at_transform(self):
+        vec = TfidfVectorizer().fit(DOCS[:2])
+        out = vec.transform(["completely unrelated xylophone zebra"])
+        assert np.allclose(out, 0.0)
+
+
+class TestKMeans:
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            kmeans(np.zeros((0, 2)), 1, rng)
+        with pytest.raises(ConfigError):
+            kmeans(np.zeros((3, 2)), 4, rng)
+        with pytest.raises(ConfigError):
+            kmeans(np.zeros(3), 1, rng)
+
+    def test_separated_blobs_recovered(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal((0, 0), 0.1, size=(30, 2))
+        b = rng.normal((10, 10), 0.1, size=(30, 2))
+        result = kmeans(np.vstack([a, b]), 2, rng)
+        labels_a = set(result.labels[:30].tolist())
+        labels_b = set(result.labels[30:].tolist())
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_k_clusters_always_nonempty(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 1, size=(20, 3))
+        result = kmeans(data, 5, rng)
+        assert set(result.labels.tolist()) == set(range(5))
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 1, size=(6, 2))
+        result = kmeans(data, 6, rng)
+        assert sorted(set(result.labels.tolist())) == list(range(6))
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_inertia_nonincreasing_in_k(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 1, size=(25, 2))
+        inertias = []
+        for k in (1, 3, 6):
+            best = min(
+                kmeans(data, k, np.random.default_rng(seed + rep)).inertia
+                for rep in range(3)
+            )
+            inertias.append(best)
+        assert inertias[0] >= inertias[1] - 1e-9
+        assert inertias[1] >= inertias[2] - 1e-9
+
+    def test_top_terms(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform(DOCS)
+        rng = np.random.default_rng(4)
+        result = kmeans(matrix, 2, rng)
+        terms = top_terms(result.centroids[0], vec.vocabulary, n=3)
+        assert 1 <= len(terms) <= 3
+
+
+class TestInvertedIndex:
+    def make(self):
+        index = InvertedIndex()
+        for i, doc in enumerate(DOCS):
+            index.add(f"d{i}", doc)
+        return index
+
+    def test_document_count(self):
+        assert self.make().document_count == 4
+
+    def test_boolean_lookup(self):
+        index = self.make()
+        assert index.documents_with("highway") == {"d1"}
+        assert index.documents_with("hospital") == {"d0", "d3"}
+
+    def test_search_all_is_conjunctive(self):
+        index = self.make()
+        assert index.search_all("haidian hospital smoothly") == {"d3"}
+        assert index.search_all("highway u-turn") == set()
+
+    def test_search_ranked_orders_by_relevance(self):
+        index = self.make()
+        ranked = index.search_ranked("u-turn")
+        assert ranked[0][0] == "d2"
+
+    def test_search_ranked_limit(self):
+        index = self.make()
+        assert len(index.search_ranked("car", limit=2)) <= 2
+        with pytest.raises(ConfigError):
+            index.search_ranked("car", limit=0)
+
+    def test_remove(self):
+        index = self.make()
+        index.remove("d1")
+        assert index.document_count == 3
+        assert index.documents_with("highway") == set()
+        index.remove("d1")  # idempotent
+
+    def test_re_add_replaces(self):
+        index = self.make()
+        index.add("d1", "entirely new content about parks")
+        assert index.documents_with("highway") == set()
+        assert "d1" in index.documents_with("parks")
+
+    def test_empty_query(self):
+        index = self.make()
+        assert index.search_all("") == set()
+        assert index.search_ranked("the of and") == []

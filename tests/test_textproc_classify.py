@@ -1,0 +1,83 @@
+"""Tests for the naive-Bayes summary classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.textproc import NaiveBayesClassifier
+
+CONGESTED = [
+    "with the speed of 12 km/h which was 30 km/h slower than usual",
+    "with three staying points and the speed of 15 km/h slower than usual",
+    "slower than usual with two staying points in heavy traffic",
+    "with four staying points in total for about 300 seconds slower",
+]
+SMOOTH = [
+    "moved smoothly through the highway",
+    "with the speed of 80 km/h which was 15 km/h faster than usual",
+    "moved smoothly to the station faster than usual",
+    "through express road smoothly faster",
+]
+
+
+class TestNaiveBayes:
+    def fitted(self):
+        docs = CONGESTED + SMOOTH
+        labels = ["congested"] * len(CONGESTED) + ["smooth"] * len(SMOOTH)
+        return NaiveBayesClassifier().fit(docs, labels)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NaiveBayesClassifier(smoothing=0.0)
+        with pytest.raises(ConfigError):
+            NaiveBayesClassifier().fit(["a"], [])
+        with pytest.raises(ConfigError):
+            NaiveBayesClassifier().fit([], [])
+        with pytest.raises(ConfigError):
+            NaiveBayesClassifier().predict("hello")
+
+    def test_classifies_obvious_cases(self):
+        clf = self.fitted()
+        assert clf.predict("slower than usual with staying points") == "congested"
+        assert clf.predict("moved smoothly and faster") == "smooth"
+
+    def test_training_accuracy_high(self):
+        clf = self.fitted()
+        docs = CONGESTED + SMOOTH
+        labels = ["congested"] * len(CONGESTED) + ["smooth"] * len(SMOOTH)
+        assert clf.accuracy(docs, labels) >= 0.9
+
+    def test_tokenless_input_falls_back_to_prior(self):
+        docs = CONGESTED * 3 + SMOOTH  # skewed prior toward 'congested'
+        labels = ["congested"] * len(CONGESTED) * 3 + ["smooth"] * len(SMOOTH)
+        clf = NaiveBayesClassifier().fit(docs, labels)
+        # "the" is a stopword, so no evidence reaches the likelihood and
+        # the class prior decides.
+        assert clf.predict("the") == "congested"
+
+    def test_classes(self):
+        assert set(self.fitted().classes) == {"congested", "smooth"}
+
+    def test_predict_many(self):
+        clf = self.fitted()
+        out = clf.predict_many(["smoothly faster", "slower staying points"])
+        assert out == ["smooth", "congested"]
+
+    def test_real_summaries_separable(self, scenario):
+        """Rush-hour vs night summaries are learnable from text alone."""
+        rng = np.random.default_rng(2)
+        rush = [
+            scenario.stmaker.summarize(t.raw, k=2).text
+            for t in scenario.simulate_trips(14, depart_time=8 * 3600.0, rng=rng)
+        ]
+        night = [
+            scenario.stmaker.summarize(t.raw, k=2).text
+            for t in scenario.simulate_trips(14, depart_time=3 * 3600.0, rng=rng)
+        ]
+        train_docs = rush[:10] + night[:10]
+        train_labels = ["rush"] * 10 + ["night"] * 10
+        test_docs = rush[10:] + night[10:]
+        test_labels = ["rush"] * 4 + ["night"] * 4
+        clf = NaiveBayesClassifier().fit(train_docs, train_labels)
+        # Better than coin-flipping on held-out summaries.
+        assert clf.accuracy(test_docs, test_labels) >= 0.625

@@ -1,0 +1,82 @@
+"""Tests for GeoJSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.trajectory import (
+    network_to_geojson,
+    save_geojson,
+    summary_to_geojson,
+    trajectory_to_geojson,
+)
+
+
+@pytest.fixture(scope="module")
+def trip_and_summary(scenario):
+    rng = np.random.default_rng(90)
+    trip = scenario.simulate_trips(1, depart_time=9 * 3600.0, rng=rng)[0]
+    return trip, scenario.stmaker.summarize(trip.raw, k=2)
+
+
+class TestTrajectoryGeojson:
+    def test_linestring_shape(self, trip_and_summary):
+        trip, _ = trip_and_summary
+        feature = trajectory_to_geojson(trip.raw)
+        assert feature["type"] == "Feature"
+        assert feature["geometry"]["type"] == "LineString"
+        coords = feature["geometry"]["coordinates"]
+        assert len(coords) == len(trip.raw)
+        # GeoJSON is (lon, lat).
+        assert coords[0][0] == trip.raw[0].point.lon
+        assert coords[0][1] == trip.raw[0].point.lat
+
+    def test_timestamps_aligned(self, trip_and_summary):
+        trip, _ = trip_and_summary
+        feature = trajectory_to_geojson(trip.raw)
+        timestamps = feature["properties"]["timestamps"]
+        assert len(timestamps) == len(trip.raw)
+        assert timestamps[0] == trip.raw.start_time
+
+    def test_json_serializable(self, trip_and_summary):
+        trip, _ = trip_and_summary
+        json.dumps(trajectory_to_geojson(trip.raw))
+
+
+class TestNetworkGeojson:
+    def test_feature_per_edge(self, scenario):
+        collection = network_to_geojson(scenario.network)
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == scenario.network.edge_count
+        sample = collection["features"][0]["properties"]
+        assert {"name", "grade", "grade_name", "width_m", "one_way"} <= set(sample)
+
+
+class TestSummaryGeojson:
+    def test_track_plus_landmarks(self, scenario, trip_and_summary):
+        trip, summary = trip_and_summary
+        collection = summary_to_geojson(trip.raw, summary, scenario.landmarks)
+        kinds = [f["geometry"]["type"] for f in collection["features"]]
+        assert kinds[0] == "LineString"
+        assert kinds.count("Point") >= 2  # at least source and destination
+        assert collection["features"][0]["properties"]["summary"] == summary.text
+
+    def test_landmark_points_carry_sentences(self, scenario, trip_and_summary):
+        trip, summary = trip_and_summary
+        collection = summary_to_geojson(trip.raw, summary, scenario.landmarks)
+        points = [
+            f for f in collection["features"] if f["geometry"]["type"] == "Point"
+        ]
+        for point in points:
+            props = point["properties"]
+            assert props["name"]
+            assert props["sentence"].endswith(".")
+            assert 0.0 <= props["significance"] <= 1.0
+
+    def test_save_roundtrip(self, scenario, trip_and_summary, tmp_path):
+        trip, summary = trip_and_summary
+        path = tmp_path / "summary.geojson"
+        save_geojson(summary_to_geojson(trip.raw, summary, scenario.landmarks), path)
+        back = json.loads(path.read_text())
+        assert back["type"] == "FeatureCollection"

@@ -1,0 +1,115 @@
+"""Tests for trajectory CSV/JSON IO and timestamp parsing."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint
+from repro.trajectory import (
+    RawTrajectory,
+    TrajectoryPoint,
+    format_timestamp,
+    load_trajectories_json,
+    parse_timestamp,
+    read_trajectory_csv,
+    save_trajectories_json,
+    trajectory_from_dict,
+    trajectory_to_dict,
+    write_trajectory_csv,
+)
+
+
+@pytest.fixture()
+def sample_trajectory():
+    return RawTrajectory(
+        [
+            TrajectoryPoint(GeoPoint(39.9383, 116.339), 1383383876.0),
+            TrajectoryPoint(GeoPoint(39.9382, 116.337), 1383383882.0),
+            TrajectoryPoint(GeoPoint(39.9259, 116.310), 1383384806.0),
+        ],
+        "paper-table-1",
+    )
+
+
+class TestTimestamps:
+    def test_paper_format_roundtrip(self):
+        t = parse_timestamp("20131102 09:17:56")
+        assert format_timestamp(t) == "20131102 09:17:56"
+
+    def test_numeric_passthrough(self):
+        assert parse_timestamp("1234.5") == 1234.5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(TrajectoryError):
+            parse_timestamp("yesterday at noon")
+
+    def test_ordering_preserved(self):
+        early = parse_timestamp("20131102 09:17:56")
+        late = parse_timestamp("20131102 09:34:31")
+        assert late - early == pytest.approx(995.0)
+
+
+class TestCsv:
+    def test_roundtrip(self, sample_trajectory, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trajectory_csv(sample_trajectory, path)
+        back = read_trajectory_csv(path)
+        assert len(back) == 3
+        assert back[0].point.lat == pytest.approx(39.9383)
+        assert back[0].t == sample_trajectory[0].t
+
+    def test_header_detected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "latitude,longitude,timestamp\n"
+            "39.9383,116.339,20131102 09:17:56\n"
+            "39.9382,116.337,20131102 09:18:02\n"
+        )
+        t = read_trajectory_csv(path)
+        assert len(t) == 2
+
+    def test_headerless_accepted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "39.9383,116.339,100\n39.9382,116.337,200\n"
+        )
+        assert len(read_trajectory_csv(path)) == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("39.9,116.3,100\n\n39.8,116.2,200\n")
+        assert len(read_trajectory_csv(path)) == 2
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("39.9,116.3\n")
+        with pytest.raises(TrajectoryError):
+            read_trajectory_csv(path)
+
+    def test_bad_coordinates_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("north,east,100\nalso,bad,200\n")
+        with pytest.raises(TrajectoryError):
+            read_trajectory_csv(path)
+
+    def test_id_defaults_to_stem(self, sample_trajectory, tmp_path):
+        path = tmp_path / "taxi42.csv"
+        write_trajectory_csv(sample_trajectory, path)
+        assert read_trajectory_csv(path).trajectory_id == "taxi42"
+
+
+class TestJson:
+    def test_dict_roundtrip(self, sample_trajectory):
+        back = trajectory_from_dict(trajectory_to_dict(sample_trajectory))
+        assert back.trajectory_id == sample_trajectory.trajectory_id
+        assert [p.t for p in back] == [p.t for p in sample_trajectory]
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(TrajectoryError):
+            trajectory_from_dict({"points": [{"lat": 1.0}]})
+
+    def test_multi_trajectory_file(self, sample_trajectory, tmp_path):
+        path = tmp_path / "many.json"
+        save_trajectories_json([sample_trajectory, sample_trajectory], path)
+        back = load_trajectories_json(path)
+        assert len(back) == 2
+        assert all(len(t) == 3 for t in back)

@@ -1,0 +1,132 @@
+"""Tests for trajectory metrics and resampling."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint, LocalProjector
+from repro.trajectory import (
+    RawTrajectory,
+    TrajectoryPoint,
+    average_speed_ms,
+    downsample_by_distance,
+    downsample_by_time,
+    headings_deg,
+    instantaneous_speeds_ms,
+    median_sampling_interval_s,
+    take_every,
+)
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+@pytest.fixture(scope="module")
+def projector():
+    return LocalProjector(CENTER)
+
+
+def points_along_x(projector, spacing_m, dt_s, n):
+    return [
+        TrajectoryPoint(projector.to_point(i * spacing_m, 0.0), i * dt_s)
+        for i in range(n)
+    ]
+
+
+class TestSpeeds:
+    def test_constant_speed(self, projector):
+        pts = points_along_x(projector, 10.0, 1.0, 5)
+        speeds = instantaneous_speeds_ms(pts, projector)
+        assert speeds == pytest.approx([10.0] * 4, rel=1e-6)
+        assert average_speed_ms(pts, projector) == pytest.approx(10.0, rel=1e-6)
+
+    def test_zero_dt_gap_yields_zero_speed(self, projector):
+        pts = [
+            TrajectoryPoint(projector.to_point(0, 0), 0.0),
+            TrajectoryPoint(projector.to_point(10, 0), 0.0),
+        ]
+        assert instantaneous_speeds_ms(pts, projector) == [0.0]
+
+    def test_average_speed_degenerate(self, projector):
+        assert average_speed_ms([], projector) == 0.0
+        one = [TrajectoryPoint(CENTER, 0.0)]
+        assert average_speed_ms(one, projector) == 0.0
+
+    def test_average_ignores_mid_trajectory_pauses(self, projector):
+        # 100 m in 20 s (with a 10 s stop in the middle) is 5 m/s overall.
+        pts = [
+            TrajectoryPoint(projector.to_point(0, 0), 0.0),
+            TrajectoryPoint(projector.to_point(50, 0), 5.0),
+            TrajectoryPoint(projector.to_point(50, 0), 15.0),
+            TrajectoryPoint(projector.to_point(100, 0), 20.0),
+        ]
+        assert average_speed_ms(pts, projector) == pytest.approx(5.0, rel=1e-6)
+
+
+class TestHeadings:
+    def test_straight_east(self, projector):
+        pts = points_along_x(projector, 10.0, 1.0, 4)
+        hs = headings_deg(pts, projector)
+        assert all(h == pytest.approx(90.0, abs=0.5) for h in hs)
+
+    def test_jitter_steps_skipped(self, projector):
+        pts = [
+            TrajectoryPoint(projector.to_point(0, 0), 0.0),
+            TrajectoryPoint(projector.to_point(0.2, 0.2), 1.0),  # 0.3 m jitter
+            TrajectoryPoint(projector.to_point(10, 0), 2.0),
+        ]
+        hs = headings_deg(pts, projector, min_step_m=1.0)
+        assert len(hs) == 1
+
+
+class TestMedianInterval:
+    def test_odd_count(self):
+        pts = [TrajectoryPoint(CENTER, t) for t in [0.0, 1.0, 3.0, 6.0]]
+        assert median_sampling_interval_s(pts) == 2.0
+
+    def test_even_count(self):
+        pts = [TrajectoryPoint(CENTER, t) for t in [0.0, 1.0, 4.0]]
+        assert median_sampling_interval_s(pts) == 2.0
+
+    def test_degenerate(self):
+        assert median_sampling_interval_s([TrajectoryPoint(CENTER, 0.0)]) == 0.0
+
+
+class TestResampling:
+    def test_downsample_by_time(self, projector):
+        t = RawTrajectory(points_along_x(projector, 10.0, 1.0, 11))
+        down = downsample_by_time(t, 3.0)
+        gaps = [b.t - a.t for a, b in zip(down.points, down.points[1:-1])]
+        assert all(g >= 3.0 for g in gaps)
+        assert down[0] == t[0] and down[-1] == t[-1]
+
+    def test_downsample_by_distance(self, projector):
+        t = RawTrajectory(points_along_x(projector, 10.0, 1.0, 11))
+        down = downsample_by_distance(t, 25.0, projector)
+        gaps = [
+            projector.distance_m(a.point, b.point)
+            for a, b in zip(down.points, down.points[1:-1])
+        ]
+        assert all(g >= 25.0 for g in gaps)
+
+    def test_take_every(self, projector):
+        t = RawTrajectory(points_along_x(projector, 10.0, 1.0, 10))
+        down = take_every(t, 3)
+        assert [p.t for p in down] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_take_every_keeps_last(self, projector):
+        t = RawTrajectory(points_along_x(projector, 10.0, 1.0, 11))
+        down = take_every(t, 3)
+        assert down[-1].t == 10.0
+
+    def test_invalid_parameters(self, projector):
+        t = RawTrajectory(points_along_x(projector, 10.0, 1.0, 5))
+        with pytest.raises(TrajectoryError):
+            downsample_by_time(t, 0.0)
+        with pytest.raises(TrajectoryError):
+            downsample_by_distance(t, -1.0, projector)
+        with pytest.raises(TrajectoryError):
+            take_every(t, 0)
+
+    def test_heavy_downsample_still_valid(self, projector):
+        t = RawTrajectory(points_along_x(projector, 10.0, 1.0, 5))
+        down = take_every(t, 100)
+        assert len(down) == 2

@@ -1,0 +1,121 @@
+"""Tests for raw/symbolic trajectory models."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint, LocalProjector
+from repro.trajectory import (
+    RawTrajectory,
+    SymbolicEntry,
+    SymbolicTrajectory,
+    TrajectoryPoint,
+)
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+def make_raw(coords_times, trajectory_id="t1"):
+    projector = LocalProjector(CENTER)
+    points = [
+        TrajectoryPoint(projector.to_point(x, y), t) for (x, y), t in coords_times
+    ]
+    return RawTrajectory(points, trajectory_id)
+
+
+class TestRawTrajectory:
+    def test_minimum_two_samples(self):
+        with pytest.raises(TrajectoryError):
+            make_raw([((0, 0), 0.0)])
+
+    def test_unsorted_timestamps_rejected(self):
+        with pytest.raises(TrajectoryError):
+            make_raw([((0, 0), 10.0), ((10, 0), 5.0)])
+
+    def test_equal_timestamps_allowed(self):
+        t = make_raw([((0, 0), 10.0), ((10, 0), 10.0)])
+        assert t.duration_s == 0.0
+
+    def test_duration_and_times(self):
+        t = make_raw([((0, 0), 100.0), ((10, 0), 130.0), ((20, 0), 160.0)])
+        assert t.start_time == 100.0
+        assert t.end_time == 160.0
+        assert t.duration_s == 60.0
+
+    def test_len_iter_getitem(self):
+        t = make_raw([((0, 0), 0.0), ((10, 0), 1.0), ((20, 0), 2.0)])
+        assert len(t) == 3
+        assert t[1].t == 1.0
+        assert [p.t for p in t] == [0.0, 1.0, 2.0]
+
+    def test_length_m(self):
+        projector = LocalProjector(CENTER)
+        t = make_raw([((0, 0), 0.0), ((300, 0), 10.0), ((300, 400), 20.0)])
+        assert t.length_m(projector) == pytest.approx(700.0, rel=1e-6)
+
+    def test_slice_time_inclusive(self):
+        t = make_raw([((0, 0), 0.0), ((10, 0), 10.0), ((20, 0), 20.0), ((30, 0), 30.0)])
+        sliced = t.slice_time(10.0, 20.0)
+        assert [p.t for p in sliced] == [10.0, 20.0]
+
+    def test_slice_time_empty_window(self):
+        t = make_raw([((0, 0), 0.0), ((10, 0), 10.0)])
+        assert t.slice_time(3.0, 7.0) == []
+
+    def test_slice_time_invalid(self):
+        t = make_raw([((0, 0), 0.0), ((10, 0), 10.0)])
+        with pytest.raises(TrajectoryError):
+            t.slice_time(10.0, 5.0)
+
+    def test_bounding_box(self):
+        t = make_raw([((0, 0), 0.0), ((100, 200), 10.0)])
+        box = t.bounding_box()
+        assert box.contains(t[0].point)
+        assert box.contains(t[1].point)
+
+    def test_repr_mentions_id(self):
+        t = make_raw([((0, 0), 0.0), ((10, 0), 10.0)], trajectory_id="taxi-9")
+        assert "taxi-9" in repr(t)
+
+
+class TestSymbolicTrajectory:
+    def test_minimum_two_anchors(self):
+        with pytest.raises(TrajectoryError):
+            SymbolicTrajectory([SymbolicEntry(0, 0.0)])
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(TrajectoryError):
+            SymbolicTrajectory([SymbolicEntry(0, 10.0), SymbolicEntry(1, 5.0)])
+
+    def test_consecutive_duplicates_rejected(self):
+        with pytest.raises(TrajectoryError):
+            SymbolicTrajectory([SymbolicEntry(0, 0.0), SymbolicEntry(0, 10.0)])
+
+    def test_revisit_later_allowed(self):
+        t = SymbolicTrajectory(
+            [SymbolicEntry(0, 0.0), SymbolicEntry(1, 10.0), SymbolicEntry(0, 20.0)]
+        )
+        assert t.landmark_ids() == [0, 1, 0]
+
+    def test_size_is_landmark_count(self):
+        t = SymbolicTrajectory([SymbolicEntry(i, float(i)) for i in range(5)])
+        assert len(t) == 5
+        assert t.segment_count == 4
+
+    def test_segments(self):
+        t = SymbolicTrajectory(
+            [SymbolicEntry(7, 0.0), SymbolicEntry(3, 60.0), SymbolicEntry(9, 150.0)]
+        )
+        segments = t.segments()
+        assert len(segments) == 2
+        first = segments[0]
+        assert (first.index, first.start_landmark, first.end_landmark) == (0, 7, 3)
+        assert first.duration_s == 60.0
+        second = segments[1]
+        assert (second.start_landmark, second.end_landmark) == (3, 9)
+        assert second.duration_s == 90.0
+
+    def test_iteration_and_indexing(self):
+        entries = [SymbolicEntry(i, float(i)) for i in range(3)]
+        t = SymbolicTrajectory(entries)
+        assert list(t) == entries
+        assert t[2] == entries[2]

@@ -1,0 +1,201 @@
+"""Tests for classical trajectory similarity measures and simplification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint, LocalProjector
+from repro.trajectory import (
+    douglas_peucker,
+    dtw_distance,
+    euclidean_sync_distance,
+    hausdorff_distance,
+    lcss_similarity,
+)
+
+CENTER = GeoPoint(39.91, 116.40)
+
+
+@pytest.fixture(scope="module")
+def projector():
+    return LocalProjector(CENTER)
+
+
+def line(projector, n=10, dy=0.0, spacing=50.0):
+    return [projector.to_point(i * spacing, dy) for i in range(n)]
+
+
+coords = st.lists(
+    st.tuples(
+        st.floats(min_value=-2000.0, max_value=2000.0, allow_nan=False),
+        st.floats(min_value=-2000.0, max_value=2000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestEuclideanSync:
+    def test_parallel_lines(self, projector):
+        a = line(projector)
+        b = line(projector, dy=30.0)
+        assert euclidean_sync_distance(a, b, projector) == pytest.approx(30.0, abs=0.1)
+
+    def test_identity(self, projector):
+        a = line(projector)
+        assert euclidean_sync_distance(a, a, projector) == 0.0
+
+    def test_length_mismatch_rejected(self, projector):
+        with pytest.raises(TrajectoryError):
+            euclidean_sync_distance(line(projector, 5), line(projector, 6), projector)
+
+    def test_empty_rejected(self, projector):
+        with pytest.raises(TrajectoryError):
+            euclidean_sync_distance([], [], projector)
+
+
+class TestDTW:
+    def test_identity_zero(self, projector):
+        a = line(projector)
+        assert dtw_distance(a, a, projector) == pytest.approx(0.0, abs=1e-9)
+
+    def test_robust_to_resampling(self, projector):
+        # The same path sampled at different densities stays far closer
+        # under DTW than a genuinely different (parallel-offset) path.
+        dense = line(projector, n=20, spacing=25.0)
+        sparse = line(projector, n=10, spacing=50.0)
+        offset = line(projector, n=20, spacing=25.0, dy=100.0)
+        same_path = dtw_distance(dense, sparse, projector)
+        different_path = dtw_distance(dense, offset, projector)
+        assert same_path < 500.0
+        assert same_path < different_path / 4.0
+
+    def test_parallel_offset_grows_with_length(self, projector):
+        short = dtw_distance(line(projector, 5), line(projector, 5, dy=30.0), projector)
+        long = dtw_distance(line(projector, 10), line(projector, 10, dy=30.0), projector)
+        assert long > short
+
+    @settings(max_examples=30, deadline=None)
+    @given(coords, coords)
+    def test_symmetry_and_nonnegativity(self, ca, cb):
+        projector = LocalProjector(CENTER)
+        a = [projector.to_point(x, y) for x, y in ca]
+        b = [projector.to_point(x, y) for x, y in cb]
+        d_ab = dtw_distance(a, b, projector)
+        d_ba = dtw_distance(b, a, projector)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(d_ba, rel=1e-9, abs=1e-9)
+
+
+class TestLCSS:
+    def test_identical_is_one(self, projector):
+        a = line(projector)
+        assert lcss_similarity(a, a, projector) == 1.0
+
+    def test_disjoint_is_zero(self, projector):
+        a = line(projector)
+        b = [projector.to_point(x, 5_000.0) for x in range(0, 500, 50)]
+        assert lcss_similarity(a, b, projector) == 0.0
+
+    def test_epsilon_controls_matching(self, projector):
+        a = line(projector)
+        b = line(projector, dy=60.0)
+        assert lcss_similarity(a, b, projector, epsilon_m=50.0) == 0.0
+        assert lcss_similarity(a, b, projector, epsilon_m=80.0) == 1.0
+
+    def test_invalid_epsilon(self, projector):
+        with pytest.raises(TrajectoryError):
+            lcss_similarity(line(projector), line(projector), projector, epsilon_m=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coords, coords)
+    def test_range_and_symmetry(self, ca, cb):
+        projector = LocalProjector(CENTER)
+        a = [projector.to_point(x, y) for x, y in ca]
+        b = [projector.to_point(x, y) for x, y in cb]
+        s = lcss_similarity(a, b, projector)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(lcss_similarity(b, a, projector))
+
+
+class TestHausdorff:
+    def test_identity_zero(self, projector):
+        a = line(projector)
+        assert hausdorff_distance(a, a, projector) == 0.0
+
+    def test_offset_lines(self, projector):
+        a = line(projector)
+        b = line(projector, dy=40.0)
+        assert hausdorff_distance(a, b, projector) == pytest.approx(40.0, abs=0.5)
+
+    def test_outlier_dominates(self, projector):
+        a = line(projector)
+        b = list(a)
+        b[-1] = projector.to_point(450.0, 900.0)
+        assert hausdorff_distance(a, b, projector) > 800.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(coords, coords)
+    def test_metric_properties(self, ca, cb):
+        projector = LocalProjector(CENTER)
+        a = [projector.to_point(x, y) for x, y in ca]
+        b = [projector.to_point(x, y) for x, y in cb]
+        d = hausdorff_distance(a, b, projector)
+        assert d >= 0.0
+        assert d == pytest.approx(hausdorff_distance(b, a, projector))
+
+
+class TestDouglasPeucker:
+    def test_straight_line_collapses(self, projector):
+        pts = line(projector, n=20)
+        simplified = douglas_peucker(pts, 5.0, projector)
+        assert simplified == [pts[0], pts[-1]]
+
+    def test_corner_preserved(self, projector):
+        pts = [projector.to_point(x, 0.0) for x in range(0, 501, 50)]
+        pts += [projector.to_point(500.0, y) for y in range(50, 501, 50)]
+        simplified = douglas_peucker(pts, 10.0, projector)
+        corners = {projector.to_xy(p) for p in simplified}
+        assert any(abs(x - 500.0) < 1 and abs(y) < 1 for x, y in corners)
+        assert len(simplified) == 3
+
+    def test_tolerance_monotonicity(self, projector):
+        rng = np.random.default_rng(0)
+        pts = [
+            projector.to_point(i * 30.0, float(rng.normal(0, 15)))
+            for i in range(40)
+        ]
+        loose = douglas_peucker(pts, 40.0, projector)
+        tight = douglas_peucker(pts, 5.0, projector)
+        assert len(loose) <= len(tight)
+
+    def test_endpoints_always_kept(self, projector):
+        pts = line(projector, n=8)
+        simplified = douglas_peucker(pts, 1_000.0, projector)
+        assert simplified[0] == pts[0]
+        assert simplified[-1] == pts[-1]
+
+    def test_short_input_passthrough(self, projector):
+        pts = line(projector, n=2)
+        assert douglas_peucker(pts, 1.0, projector) == pts
+
+    def test_invalid_tolerance(self, projector):
+        with pytest.raises(TrajectoryError):
+            douglas_peucker(line(projector), 0.0, projector)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coords, st.floats(min_value=1.0, max_value=200.0))
+    def test_simplified_within_tolerance(self, cs, tolerance):
+        from repro.geo import nearest_point_on_polyline
+
+        projector = LocalProjector(CENTER)
+        pts = [projector.to_point(x, y) for x, y in cs]
+        simplified = douglas_peucker(pts, tolerance, projector)
+        if len(simplified) < 2:
+            return
+        # Every original vertex stays within tolerance of the simplification.
+        for p in pts:
+            d, _ = nearest_point_on_polyline(p, simplified, projector)
+            assert d <= tolerance + 1e-6

@@ -10,10 +10,39 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.simulate import CityScenario, ScenarioConfig
 
 #: Training-corpus size: large enough for dense feature-map coverage.
 TRAINING_TRIPS = 1_200
+
+
+@pytest.fixture(autouse=True)
+def stage_breakdown(request):
+    """Trace every bench and print a per-figure stage-time breakdown.
+
+    Each bench test runs with a fresh trace collector; on teardown the
+    spans are aggregated by stage name (``calibrate``, ``extract_features``,
+    ``partition``, ``select``, ``realize``, ...) so every figure reports
+    where its wall time went.  The collector is capped so week-long
+    workloads cannot exhaust memory.
+    """
+    collector = obs.enable_tracing(max_spans=200_000)
+    try:
+        yield
+    finally:
+        totals = collector.stage_totals()
+        obs.disable_tracing()
+    if totals:
+        print(f"\n--- stage-time breakdown: {request.node.name} ---")
+        print(f"{'stage':<24} {'calls':>8} {'total ms':>12} {'mean ms':>10}")
+        for stage in totals:
+            print(
+                f"{stage.name:<24} {stage.count:>8} "
+                f"{stage.total_ms:>12.2f} {stage.mean_ms:>10.3f}"
+            )
+        if collector.dropped:
+            print(f"(+{collector.dropped} spans dropped at the collector cap)")
 
 
 @pytest.fixture(scope="session")

@@ -5,20 +5,35 @@ prints its summaries at several granularities (the Fig. 6 experience);
 ``stmaker summarize`` runs the pipeline on a user-supplied CSV trajectory
 recorded inside the synthetic city; ``stmaker experiment`` regenerates any
 of the paper's evaluation figures from the command line.
+
+Every subcommand also takes the observability flags:
+
+* ``-v``/``-vv`` — diagnostic logging to stderr (INFO / DEBUG);
+* ``--trace`` — trace the pipeline and dump the span tree as JSON
+  (stderr, or ``--trace-out FILE``);
+* ``--metrics-out FILE`` — write the metrics snapshot as JSON;
+* ``--profile`` — print a cProfile report of the command to stderr.
+
+Primary command output (summary text, experiment tables) stays on stdout;
+diagnostics go through the ``repro.cli`` logger and stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
 import sys
 
 from repro.exceptions import ReproError
+
+logger = logging.getLogger("repro.cli")
 
 
 def _build_scenario(seed: int, training: int):
     from repro.simulate import CityScenario, ScenarioConfig
 
-    print(f"building scenario (seed={seed}, training trips={training}) ...")
+    logger.info("building scenario (seed=%d, training trips=%d) ...", seed, training)
     return CityScenario.build(
         ScenarioConfig(seed=seed, n_training_trips=training)
     )
@@ -27,9 +42,9 @@ def _build_scenario(seed: int, training: int):
 def _cmd_demo(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args.seed, args.training)
     trip = scenario.simulate_trip(depart_time=args.hour * 3600.0)
-    print(
-        f"\nsimulated trip: {len(trip.raw)} GPS samples, "
-        f"{len(trip.stops)} stop(s), {len(trip.u_turns)} U-turn(s)\n"
+    logger.info(
+        "simulated trip: %d GPS samples, %d stop(s), %d U-turn(s)",
+        len(trip.raw), len(trip.stops), len(trip.u_turns),
     )
     for k in (1, 2, 3):
         summary = scenario.stmaker.summarize(trip.raw, k=k)
@@ -62,11 +77,15 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     if args.model:
         from repro.core import load_stmaker
 
-        print(f"loading model from {args.model} ...")
+        logger.info("loading model from %s ...", args.model)
         stmaker = load_stmaker(args.model)
     else:
         stmaker = _build_scenario(args.seed, args.training).stmaker
     trajectory = read_trajectory_csv(args.csv)
+    logger.debug(
+        "read %d points from %s (trajectory %s)",
+        len(trajectory.points), args.csv, trajectory.trajectory_id,
+    )
     summary = stmaker.summarize(trajectory, k=args.k)
     print(summary.text)
     return 0
@@ -77,6 +96,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     scenario = _build_scenario(args.seed, args.training)
     name = args.figure
+    logger.info("running experiment %s (size=%d)", name, args.size)
     if name == "fig8":
         result = exp.run_time_of_day(scenario, trips_per_bin=args.size)
         print(exp.format_ff_table(
@@ -134,20 +154,54 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--training", type=int, default=400, help="training corpus size"
     )
+
+    # Observability flags, shared by every subcommand.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostic logging to stderr (-v INFO, -vv DEBUG)",
+    )
+    group.add_argument(
+        "--trace", action="store_true",
+        help="trace the pipeline and dump the span tree as JSON to stderr",
+    )
+    group.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the JSON trace dump to FILE instead of stderr (implies --trace)",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the metrics snapshot as JSON to FILE",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="print a cProfile report of the command to stderr",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="summarize a simulated trip at k=1,2,3")
+    demo = sub.add_parser(
+        "demo", parents=[obs_flags],
+        help="summarize a simulated trip at k=1,2,3",
+    )
     demo.add_argument("--hour", type=float, default=8.5, help="departure hour")
     demo.add_argument(
         "--no-map", action="store_true", help="skip the ASCII route map"
     )
     demo.set_defaults(func=_cmd_demo)
 
-    train = sub.add_parser("train", help="train a model and save it to JSON")
+    train = sub.add_parser(
+        "train", parents=[obs_flags],
+        help="train a model and save it to JSON",
+    )
     train.add_argument("--out", default="stmaker-model.json", help="output path")
     train.set_defaults(func=_cmd_train)
 
-    summ = sub.add_parser("summarize", help="summarize a CSV trajectory")
+    summ = sub.add_parser(
+        "summarize", parents=[obs_flags],
+        help="summarize a CSV trajectory",
+    )
     summ.add_argument("csv", help="CSV file: latitude,longitude,timestamp")
     summ.add_argument("-k", type=int, default=None, help="partition count")
     summ.add_argument(
@@ -156,7 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summ.set_defaults(func=_cmd_summarize)
 
-    expe = sub.add_parser("experiment", help="regenerate a paper figure")
+    expe = sub.add_parser(
+        "experiment", parents=[obs_flags],
+        help="regenerate a paper figure",
+    )
     expe.add_argument(
         "figure",
         choices=["fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12"],
@@ -168,12 +225,53 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``stmaker`` console script."""
+    from repro import obs
+
     args = build_parser().parse_args(argv)
+    obs.configure_logging(getattr(args, "verbose", 0))
+
+    trace_out = getattr(args, "trace_out", None)
+    want_trace = getattr(args, "trace", False) or trace_out is not None
+    metrics_out = getattr(args, "metrics_out", None)
+    collector = obs.enable_tracing() if want_trace else None
+    if want_trace or metrics_out:
+        obs.enable_metrics()
+    profile_cm = (
+        obs.profiled(limit=25)
+        if getattr(args, "profile", False)
+        else contextlib.nullcontext()
+    )
+
+    profile_report = None
     try:
-        return args.func(args)
+        with profile_cm as profile_report:
+            return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if profile_report is not None:
+            print("--- cProfile report ---", file=sys.stderr)
+            print(profile_report.text, file=sys.stderr)
+        if collector is not None:
+            if trace_out:
+                try:
+                    collector.export(trace_out)
+                    logger.info("trace written to %s", trace_out)
+                except OSError as exc:
+                    print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            else:
+                print(collector.to_json(), file=sys.stderr)
+        if metrics_out:
+            registry = obs.metrics()
+            if isinstance(registry, obs.MetricsRegistry):
+                try:
+                    registry.export(metrics_out)
+                    logger.info("metrics snapshot written to %s", metrics_out)
+                except OSError as exc:
+                    print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+        obs.disable_tracing()
+        obs.disable_metrics()
 
 
 if __name__ == "__main__":

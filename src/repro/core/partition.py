@@ -22,6 +22,7 @@ from typing import Sequence
 
 from repro.exceptions import PartitionError
 from repro.core.types import PartitionSpan
+from repro.obs import metrics, span
 
 
 def _validate(similarities: Sequence[float], boundary_scores: Sequence[float]) -> int:
@@ -64,11 +65,16 @@ def optimal_partition(
     on its predecessor, so the per-junction minimum is the global minimum).
     """
     n_segments = _validate(similarities, boundary_scores)
-    cuts = [
-        i
-        for i, (s, b) in enumerate(zip(similarities, boundary_scores))
-        if b > s
-    ]
+    with span("partition.dp", segments=n_segments):
+        cuts = [
+            i
+            for i, (s, b) in enumerate(zip(similarities, boundary_scores))
+            if b > s
+        ]
+    m = metrics()
+    m.counter("partition.calls").inc()
+    m.counter("partition.dp_cells").inc(n_segments - 1)
+    m.histogram("partition.cuts", buckets=(0, 1, 2, 3, 5, 8, 13, 21)).observe(len(cuts))
     return spans_from_boundaries(n_segments, cuts)
 
 
@@ -90,33 +96,40 @@ def optimal_k_partition(
             f"k must lie in [1, {n_segments}] for {n_segments} segments, got {k}"
         )
     inf = float("inf")
-    # E[i][j]: best score over first i+1 segments using j+1 partitions.
-    score = [[inf] * k for _ in range(n_segments)]
-    choice: list[list[int]] = [[0] * k for _ in range(n_segments)]  # 1 = cut before i
-    score[0][0] = 0.0
-    for i in range(1, n_segments):
-        merge_base = score[i - 1]
-        for j in range(min(i + 1, k)):
-            best = inf
-            took_cut = 0
-            if merge_base[j] < inf:
-                best = merge_base[j] - similarities[i - 1]
-            if j > 0 and score[i - 1][j - 1] < inf:
-                cut = score[i - 1][j - 1] - boundary_scores[i - 1]
-                if cut < best:
-                    best = cut
-                    took_cut = 1
-            score[i][j] = best
-            choice[i][j] = took_cut
-    if score[n_segments - 1][k - 1] == inf:
-        raise PartitionError(f"no feasible partition of {n_segments} segments into {k}")
-    # Backtrack the cut junctions.
-    cuts = []
-    j = k - 1
-    for i in range(n_segments - 1, 0, -1):
-        if choice[i][j] == 1:
-            cuts.append(i - 1)
-            j -= 1
+    with span("partition.dp", segments=n_segments, k=k):
+        # E[i][j]: best score over first i+1 segments using j+1 partitions.
+        score = [[inf] * k for _ in range(n_segments)]
+        choice: list[list[int]] = [[0] * k for _ in range(n_segments)]  # 1 = cut before i
+        score[0][0] = 0.0
+        for i in range(1, n_segments):
+            merge_base = score[i - 1]
+            for j in range(min(i + 1, k)):
+                best = inf
+                took_cut = 0
+                if merge_base[j] < inf:
+                    best = merge_base[j] - similarities[i - 1]
+                if j > 0 and score[i - 1][j - 1] < inf:
+                    cut = score[i - 1][j - 1] - boundary_scores[i - 1]
+                    if cut < best:
+                        best = cut
+                        took_cut = 1
+                score[i][j] = best
+                choice[i][j] = took_cut
+        if score[n_segments - 1][k - 1] == inf:
+            raise PartitionError(
+                f"no feasible partition of {n_segments} segments into {k}"
+            )
+        # Backtrack the cut junctions.
+        cuts = []
+        j = k - 1
+        for i in range(n_segments - 1, 0, -1):
+            if choice[i][j] == 1:
+                cuts.append(i - 1)
+                j -= 1
+    m = metrics()
+    m.counter("partition.calls").inc()
+    m.counter("partition.dp_cells").inc(n_segments * k)
+    m.histogram("partition.cuts", buckets=(0, 1, 2, 3, 5, 8, 13, 21)).observe(len(cuts))
     return spans_from_boundaries(n_segments, cuts)
 
 

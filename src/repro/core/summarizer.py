@@ -32,6 +32,7 @@ from repro.features import (
     normalized_vectors,
 )
 from repro.landmarks import LandmarkIndex
+from repro.obs import metrics, span, timed_span
 from repro.roadnet import RoadNetwork
 from repro.routes import HistoricalFeatureMap, PopularRouteMiner, TransferNetwork
 from repro.trajectory import RawTrajectory, SymbolicTrajectory
@@ -118,13 +119,21 @@ class STMaker:
         pipeline = FeaturePipeline(network, landmarks, registry)
         transfers = TransferNetwork()
         feature_map = HistoricalFeatureMap()
-        for raw, symbolic in training:
-            transfers.add_trajectory(symbolic)
-            for segment in symbolic.segments():
-                values, _ = pipeline.extract_moving(raw, segment)
-                feature_map.add_observation(
-                    segment.start_landmark, segment.end_landmark, values
-                )
+        n_trajectories = 0
+        n_segments = 0
+        with span("train"):
+            for raw, symbolic in training:
+                transfers.add_trajectory(symbolic)
+                n_trajectories += 1
+                for segment in symbolic.segments():
+                    values, _ = pipeline.extract_moving(raw, segment)
+                    feature_map.add_observation(
+                        segment.start_landmark, segment.end_landmark, values
+                    )
+                    n_segments += 1
+        m = metrics()
+        m.counter("train.trajectories").inc(n_trajectories)
+        m.counter("train.segments").inc(n_segments)
         return cls(
             network, landmarks, transfers, feature_map,
             config=config, registry=registry, calibrator=calibrator,
@@ -154,8 +163,18 @@ class STMaker:
         is clamped — the finest possible granularity is one partition per
         segment.
         """
-        symbolic = self.calibrator.calibrate(raw)
-        return self.summarize_calibrated(raw, symbolic, k=k)
+        with timed_span(
+            "summarize", trajectory_id=raw.trajectory_id, k=k
+        ) as timer:
+            symbolic = self.calibrator.calibrate(raw)
+            summary = self.summarize_calibrated(raw, symbolic, k=k)
+        m = metrics()
+        m.counter("summarize.calls").inc()
+        m.histogram("summarize.latency_ms").observe(timer.ms)
+        m.histogram(
+            "summarize.partitions", buckets=(1, 2, 3, 5, 8, 13, 21)
+        ).observe(summary.partition_count)
+        return summary
 
     def summarize_calibrated(
         self,
@@ -167,9 +186,9 @@ class STMaker:
         segment_features = self.pipeline.extract(raw, symbolic)
         spans = self.partition(symbolic, segment_features, k=k)
         partitions = []
-        for i, span in enumerate(spans):
+        for i, part_span in enumerate(spans):
             partitions.append(
-                self._summarize_partition(symbolic, segment_features, span, i == 0)
+                self._summarize_partition(symbolic, segment_features, part_span, i == 0)
             )
         return TrajectorySummary(
             raw.trajectory_id, summary_text(partitions), partitions
@@ -187,19 +206,21 @@ class STMaker:
             raise PartitionError(
                 f"{n_segments} feature rows for {symbolic.segment_count} segments"
             )
-        if n_segments == 1:
-            return [PartitionSpan(0, 0)]
-        vectors = normalized_vectors(segment_features, self.registry)
-        weights = [self.config.weight(key) for key in self.registry.keys()]
-        similarities = segment_similarities(vectors.tolist(), weights)
-        boundary_scores = [
-            self.config.ca * self.landmarks.get(symbolic[i + 1].landmark).significance
-            for i in range(n_segments - 1)
-        ]
-        if k is None:
-            return optimal_partition(similarities, boundary_scores)
-        k = max(1, min(k, n_segments))
-        return optimal_k_partition(similarities, boundary_scores, k)
+        with span("partition", segments=n_segments, k=k):
+            if n_segments == 1:
+                return [PartitionSpan(0, 0)]
+            vectors = normalized_vectors(segment_features, self.registry)
+            weights = [self.config.weight(key) for key in self.registry.keys()]
+            similarities = segment_similarities(vectors.tolist(), weights)
+            boundary_scores = [
+                self.config.ca
+                * self.landmarks.get(symbolic[i + 1].landmark).significance
+                for i in range(n_segments - 1)
+            ]
+            if k is None:
+                return optimal_partition(similarities, boundary_scores)
+            k = max(1, min(k, n_segments))
+            return optimal_k_partition(similarities, boundary_scores, k)
 
     # -- internals ----------------------------------------------------------------------
 
@@ -207,20 +228,22 @@ class STMaker:
         self,
         symbolic: SymbolicTrajectory,
         segment_features: list[SegmentFeatures],
-        span: PartitionSpan,
+        part_span: PartitionSpan,
         is_first: bool,
     ) -> PartitionSummary:
-        assessment = self.selector.assess(symbolic, segment_features, span)
-        source = self.landmarks.get(
-            symbolic[span.start_landmark_index].landmark
-        ).name
-        destination = self.landmarks.get(
-            symbolic[span.end_landmark_index].landmark
-        ).name
-        sentence = partition_sentence(
-            source, destination, assessment.selected, self.registry, is_first
-        )
+        assessment = self.selector.assess(symbolic, segment_features, part_span)
+        with span("realize", selected=len(assessment.selected)):
+            source = self.landmarks.get(
+                symbolic[part_span.start_landmark_index].landmark
+            ).name
+            destination = self.landmarks.get(
+                symbolic[part_span.end_landmark_index].landmark
+            ).name
+            sentence = partition_sentence(
+                source, destination, assessment.selected, self.registry, is_first
+            )
+        metrics().counter("realize.sentences").inc()
         return PartitionSummary(
-            span, source, destination,
+            part_span, source, destination,
             assessment.assessments, assessment.selected, sentence,
         )

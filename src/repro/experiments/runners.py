@@ -8,13 +8,13 @@ benchmarks can trade accuracy for speed.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core import SummarizerConfig, TrajectorySummary
 from repro.exceptions import CalibrationError, ConfigError
+from repro.obs import timed_span
 from repro.experiments.ff import feature_frequency, landmark_usage
 from repro.experiments.userstudy import (
     GradedSummary,
@@ -309,13 +309,14 @@ def run_efficiency(
         except CalibrationError:
             continue
 
-    # |T| buckets of width 10 landmarks.
+    # |T| buckets of width 10 landmarks.  ``timed_span`` is the same timer
+    # the pipeline instrumentation uses, so these experiment timings appear
+    # as ``experiment.summarize`` spans in any active trace.
     buckets: dict[int, list[float]] = {}
     for trip, symbolic in calibrated:
-        start = time.perf_counter()
-        scenario.stmaker.summarize_calibrated(trip.raw, symbolic)
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        buckets.setdefault(len(symbolic) // 10, []).append(elapsed_ms)
+        with timed_span("experiment.summarize", size=len(symbolic)) as timer:
+            scenario.stmaker.summarize_calibrated(trip.raw, symbolic)
+        buckets.setdefault(len(symbolic) // 10, []).append(timer.ms)
     by_size = [
         (f"{bucket * 10}-{bucket * 10 + 9}", float(np.mean(times)))
         for bucket, times in sorted(buckets.items())
@@ -326,8 +327,8 @@ def run_efficiency(
     for k in ks:
         times = []
         for trip, symbolic in sample:
-            start = time.perf_counter()
-            scenario.stmaker.summarize_calibrated(trip.raw, symbolic, k=k)
-            times.append((time.perf_counter() - start) * 1000.0)
+            with timed_span("experiment.summarize", k=k) as timer:
+                scenario.stmaker.summarize_calibrated(trip.raw, symbolic, k=k)
+            times.append(timer.ms)
         by_k.append((k, float(np.mean(times))))
     return EfficiencyResult(by_size, by_k)

@@ -27,6 +27,7 @@ from repro.features.base import (
 from repro.features.moving import MovingFeatureExtractor, MovingFeatures
 from repro.features.routing import RoutingFeatureComputer, RoutingFeatures
 from repro.landmarks import LandmarkIndex
+from repro.obs import metrics, span
 from repro.roadnet import RoadNetwork
 from repro.trajectory import (
     RawTrajectory,
@@ -84,7 +85,10 @@ class FeaturePipeline:
         self, raw: RawTrajectory, symbolic: SymbolicTrajectory
     ) -> list[SegmentFeatures]:
         """Feature values for every segment of *symbolic*."""
-        return [self.extract_segment(raw, seg) for seg in symbolic.segments()]
+        with span("extract_features", segments=symbolic.segment_count):
+            out = [self.extract_segment(raw, seg) for seg in symbolic.segments()]
+        metrics().counter("features.segments_extracted").inc(len(out))
+        return out
 
     def extract_segment(
         self, raw: RawTrajectory, segment: TrajectorySegment

@@ -1,0 +1,82 @@
+"""Observability substrate: tracing spans, metrics registry, profiling.
+
+Everything here is zero-dependency and **off by default**: with neither
+tracing nor metrics enabled, an instrumented call site reduces to a
+function call returning a shared no-op singleton, keeping the hot path
+fast.  Enable explicitly (or via the CLI's ``--trace``/``--metrics-out``
+flags)::
+
+    from repro import obs
+
+    collector = obs.enable_tracing()
+    registry = obs.enable_metrics()
+    scenario.stmaker.summarize(trip.raw)
+    print(collector.to_json())        # nested spans, wall time, outcome
+    print(registry.render_text())     # counters / gauges / histograms
+    obs.disable_tracing(); obs.disable_metrics()
+
+See ``docs/OBSERVABILITY.md`` for the span/metric naming conventions and
+the catalogue the pipeline emits.
+"""
+
+from repro.obs.logconfig import configure_logging
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    disable_metrics,
+    enable_metrics,
+    metrics,
+    metrics_enabled,
+)
+from repro.obs.profile import ProfileReport, profiled
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    StageTotal,
+    Timer,
+    TraceCollector,
+    disable_tracing,
+    enable_tracing,
+    get_collector,
+    span,
+    timed_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "span",
+    "timed_span",
+    "Timer",
+    "Span",
+    "SpanRecord",
+    "StageTotal",
+    "TraceCollector",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_collector",
+    "NULL_SPAN",
+    # metrics
+    "metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "MetricsRegistry",
+    "NullMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "NULL_METRICS",
+    # profiling / logging
+    "profiled",
+    "ProfileReport",
+    "configure_logging",
+]

@@ -1,0 +1,51 @@
+"""Structured logging setup shared by the CLI and library consumers.
+
+Diagnostics go through named ``repro.*`` loggers to **stderr**, leaving
+stdout to the actual command output (summary text, tables).  Verbosity
+maps ``0 -> WARNING``, ``1 -> INFO``, ``>= 2 -> DEBUG`` — the CLI's
+``-v``/``-vv`` flags.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Marker attribute so repeated configuration replaces our handler instead
+#: of stacking duplicates (or clobbering handlers installed by the host app).
+_HANDLER_FLAG = "_repro_obs_handler"
+
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root logger.
+
+    Idempotent: calling again adjusts the level and stream of the handler
+    installed earlier rather than adding a second one.
+    """
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_FLAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _HANDLER_FLAG, True)
+        handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    # Don't double-log through the root logger if the host app configured it.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,287 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The pipeline reports what it does through a process-wide registry —
+``metrics().counter("summarize.calls").inc()`` — that is a shared no-op
+singleton until explicitly enabled, so instrumented hot paths cost one
+function call and one method dispatch when observability is off.
+
+Enable, run, snapshot::
+
+    from repro import obs
+
+    registry = obs.enable_metrics()
+    stmaker.summarize(raw)
+    print(registry.render_text())
+    obs.disable_metrics()
+
+Series names follow ``<stage>.<quantity>[_<unit>]`` — see
+``docs/OBSERVABILITY.md`` for the catalogue the pipeline emits.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+#: Default histogram bucket upper bounds — tuned for millisecond latencies
+#: and small counts alike (a value lands in the first bucket whose bound
+#: it does not exceed).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, math.inf,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are ascending upper bounds; an observation is counted in
+    the first bucket whose bound is ``>=`` the value (cumulative-style
+    ``le`` semantics, one count per observation).  A final ``+inf`` bound
+    is appended when missing so no observation is ever lost.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None) -> None:
+        bounds = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be ascending: {bounds}")
+        if not bounds or bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.name = name
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        return {
+            ("+inf" if bound == math.inf else f"{bound:g}"): count
+            for bound, count in zip(self.buckets, self._counts)
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": self.bucket_counts(),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, create-on-first-use registry of named series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    # -- reporting ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """All series as plain dicts, sorted by name (JSON-serializable)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.to_dict() for name, metric in items}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, default=str)
+
+    def export(self, path) -> None:
+        """Write the snapshot to *path* as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def render_text(self) -> str:
+        """A human-readable one-line-per-series report."""
+        lines = []
+        for name, data in self.snapshot().items():
+            if data["type"] == "histogram":
+                lines.append(
+                    f"{name:<40} histogram  count={data['count']:<8g} "
+                    f"mean={data['mean']:<10.3f} min={data['min']} max={data['max']}"
+                )
+            else:
+                lines.append(f"{name:<40} {data['type']:<9}  value={data['value']:g}")
+        return "\n".join(lines)
+
+
+class _NullMetric:
+    """Accepts any recording call and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullMetrics:
+    """Registry stand-in while metrics are disabled: all no-ops."""
+
+    __slots__ = ()
+    _METRIC = _NullMetric()
+
+    def counter(self, name: str) -> _NullMetric:
+        return self._METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return self._METRIC
+
+    def histogram(self, name: str, buckets=None) -> _NullMetric:
+        return self._METRIC
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        return {}
+
+
+NULL_METRICS = NullMetrics()
+
+_active: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def metrics() -> MetricsRegistry | NullMetrics:
+    """The active registry — the no-op singleton unless enabled."""
+    return _active
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install *registry* (or a fresh one) as the active metrics sink."""
+    global _active
+    if not isinstance(_active, MetricsRegistry) or registry is not None:
+        _active = registry or MetricsRegistry()
+    return _active
+
+
+def disable_metrics() -> None:
+    """Swap the no-op registry back in."""
+    global _active
+    _active = NULL_METRICS
+
+
+def metrics_enabled() -> bool:
+    return isinstance(_active, MetricsRegistry)

@@ -1,0 +1,63 @@
+"""Profiling hooks: a cProfile context manager with a rendered report.
+
+``stmaker summarize --profile`` wraps the whole command in
+:func:`profiled`; libraries can wrap any suspect block the same way::
+
+    from repro.obs import profiled
+
+    with profiled(limit=15) as report:
+        stmaker.summarize(raw)
+    print(report.text)
+
+Zero third-party dependencies — built on :mod:`cProfile`/:mod:`pstats`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ProfileReport:
+    """Filled in when the ``profiled`` block exits."""
+
+    __slots__ = ("text", "stats")
+
+    def __init__(self) -> None:
+        self.text = ""
+        self.stats: pstats.Stats | None = None
+
+    def top_functions(self, limit: int = 10) -> list[tuple[str, int, float]]:
+        """``(function, calls, cumulative_s)`` rows, heaviest first."""
+        if self.stats is None:
+            return []
+        rows = []
+        for func, (cc, nc, tt, ct, callers) in self.stats.stats.items():  # type: ignore[attr-defined]
+            filename, lineno, name = func
+            rows.append((f"{filename}:{lineno}({name})", nc, ct))
+        rows.sort(key=lambda r: -r[2])
+        return rows[:limit]
+
+
+@contextmanager
+def profiled(sort: str = "cumulative", limit: int = 25) -> Iterator[ProfileReport]:
+    """Profile the block with cProfile; the yielded report is populated on exit.
+
+    The report is rendered even when the block raises, so a profile of the
+    work done up to a failure is never lost.
+    """
+    report = ProfileReport()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats(sort).print_stats(limit)
+        report.stats = stats
+        report.text = buffer.getvalue()

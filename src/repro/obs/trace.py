@@ -1,0 +1,304 @@
+"""Zero-dependency tracing layer for the STMaker pipeline.
+
+A *span* measures one named unit of work (a pipeline stage, an experiment
+iteration).  Spans nest: entering a span pushes it onto a context-local
+stack, so a span opened inside another records that parent and its depth.
+Finished spans land in a thread-safe :class:`TraceCollector` that can be
+dumped as JSON (``stmaker summarize --trace``) or aggregated into a
+per-stage time breakdown (the benchmark harness).
+
+Tracing is **off by default** and the disabled path is engineered to stay
+off the profile: ``span(...)`` then returns a shared no-op singleton, so
+an instrumented call site costs one function call and one attribute test.
+Enable it explicitly::
+
+    from repro import obs
+
+    collector = obs.enable_tracing()
+    stmaker.summarize(raw)
+    print(collector.to_json())
+    obs.disable_tracing()
+
+Stage span names used by the pipeline instrumentation are listed in
+``docs/OBSERVABILITY.md``: ``summarize`` > ``calibrate``,
+``extract_features``, ``partition``, ``select``, ``realize``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span, as stored by the collector."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: ``time.perf_counter()`` at entry — a relative timeline, comparable
+    #: only across spans of the same process.
+    start_s: float
+    duration_ms: float
+    status: str  # "ok" | "error"
+    error: str | None
+    depth: int
+    tags: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "error": self.error,
+            "depth": self.depth,
+            "tags": dict(self.tags),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class StageTotal:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+class TraceCollector:
+    """Thread-safe sink for finished spans.
+
+    ``max_spans`` bounds memory on long runs: once full, new spans are
+    dropped (and counted in :attr:`dropped`) rather than evicting history,
+    so the recorded prefix stays a faithful trace.
+    """
+
+    def __init__(self, max_spans: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._next_id = 1
+        self.max_spans = max_spans
+        self.dropped = 0
+
+    def next_span_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            if self.max_spans is not None and len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(record)
+
+    def spans(self) -> list[SpanRecord]:
+        """A snapshot copy of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def by_name(self, name: str) -> list[SpanRecord]:
+        return [s for s in self.spans() if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- reporting ------------------------------------------------------------
+
+    def stage_totals(self) -> list[StageTotal]:
+        """Per-name aggregates (count, total ms), sorted by total descending."""
+        counts: dict[str, int] = {}
+        totals: dict[str, float] = {}
+        for record in self.spans():
+            counts[record.name] = counts.get(record.name, 0) + 1
+            totals[record.name] = totals.get(record.name, 0.0) + record.duration_ms
+        out = [StageTotal(name, counts[name], totals[name]) for name in counts]
+        out.sort(key=lambda t: -t.total_ms)
+        return out
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [record.to_dict() for record in self.spans()]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        payload = {"spans": self.to_dicts(), "dropped": self.dropped}
+        return json.dumps(payload, indent=indent, default=str)
+
+    def export(self, path) -> None:
+        """Write the trace dump to *path* as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+#: Context-local stack of active spans.  A ``ContextVar`` is both
+#: thread-safe and async-safe: a new thread (or task) starts with the
+#: default empty stack instead of inheriting a parent mid-span.
+_stack: ContextVar[tuple["Span", ...]] = ContextVar("repro_obs_span_stack", default=())
+
+_collector: TraceCollector | None = None
+
+
+class Span:
+    """An active span; use via :func:`span`, not directly."""
+
+    __slots__ = (
+        "name", "tags", "span_id", "parent_id", "depth",
+        "duration_ms", "status", "error",
+        "_collector", "_start", "_token",
+    )
+
+    def __init__(self, name: str, tags: dict[str, object], collector: TraceCollector) -> None:
+        self.name = name
+        self.tags = tags
+        self._collector = collector
+        self.span_id = collector.next_span_id()
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.duration_ms = 0.0
+        self.status = "ok"
+        self.error: str | None = None
+
+    def set_tag(self, key: str, value: object) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _stack.get()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        self._token = _stack.set(stack + (self,))
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        _stack.reset(self._token)
+        self.duration_ms = (end - self._start) * 1000.0
+        if exc_type is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._collector.add(
+            SpanRecord(
+                self.span_id, self.parent_id, self.name, self._start,
+                self.duration_ms, self.status, self.error, self.depth, self.tags,
+            )
+        )
+        return False  # never swallow the exception
+
+
+def span(name: str, **tags: object):
+    """A context manager measuring one named unit of work.
+
+    When tracing is disabled (the default) this returns a shared no-op
+    singleton; when enabled it returns a live :class:`Span` recording wall
+    time, outcome (``ok``/``error``), nesting, and *tags*.
+    """
+    collector = _collector
+    if collector is None:
+        return NULL_SPAN
+    return Span(name, tags, collector)
+
+
+class Timer:
+    """Always-on wall-clock timer: ``with Timer() as t: ...; t.ms``.
+
+    Unlike :func:`span` it measures even when tracing is disabled — it is
+    the substrate for experiment timings (Fig. 12) that must not depend on
+    observability being switched on.
+    """
+
+    __slots__ = ("_start", "ms")
+
+    def __enter__(self) -> "Timer":
+        self.ms = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.ms = (time.perf_counter() - self._start) * 1000.0
+        return False
+
+
+class timed_span:
+    """Time a block unconditionally *and* trace it when tracing is enabled.
+
+    The single code path shared by pipeline instrumentation and the
+    experiment runners: ``with timed_span("summarize") as t: ...`` always
+    yields a :class:`Timer` (so ``t.ms`` is valid afterwards) and records a
+    span when a collector is installed.
+    """
+
+    __slots__ = ("_span", "_timer")
+
+    def __init__(self, name: str, **tags: object) -> None:
+        self._span = span(name, **tags)
+        self._timer = Timer()
+
+    def __enter__(self) -> Timer:
+        self._span.__enter__()
+        return self._timer.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.__exit__(exc_type, exc, tb)
+        self._span.__exit__(exc_type, exc, tb)
+        return False
+
+
+def enable_tracing(
+    collector: TraceCollector | None = None, max_spans: int | None = None
+) -> TraceCollector:
+    """Install *collector* (or a fresh one) as the active trace sink."""
+    global _collector
+    _collector = collector or TraceCollector(max_spans=max_spans)
+    return _collector
+
+
+def disable_tracing() -> None:
+    """Stop collecting spans; ``span()`` returns the no-op singleton again."""
+    global _collector
+    _collector = None
+
+
+def tracing_enabled() -> bool:
+    return _collector is not None
+
+
+def get_collector() -> TraceCollector | None:
+    """The active collector, or ``None`` while tracing is disabled."""
+    return _collector

@@ -64,3 +64,72 @@ class TestCommands:
         err = capsys.readouterr().err
         assert code == 1
         assert "error:" in err
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        csv_path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, csv_path)
+        metrics_path = tmp_path / "m.json"
+        capsys.readouterr()
+
+        code = main([
+            "--training", "40", "summarize", str(csv_path),
+            "--trace", "--metrics-out", str(metrics_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "The car started from" in captured.out
+
+        # The trace dump lands on stderr as JSON with all five stage spans.
+        trace = json.loads(captured.err[captured.err.index("{"):])
+        names = {span["name"] for span in trace["spans"]}
+        for stage in ("calibrate", "extract_features", "partition", "select", "realize"):
+            assert stage in names
+
+        # The metrics snapshot holds a healthy number of distinct series.
+        snapshot = json.loads(metrics_path.read_text())
+        assert len(snapshot) >= 8
+        assert snapshot["summarize.calls"]["value"] == 1.0
+
+    def test_trace_out_writes_file(self, tmp_path, capsys):
+        import json
+
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        csv_path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, csv_path)
+        trace_path = tmp_path / "trace.json"
+        capsys.readouterr()
+
+        code = main([
+            "--training", "40", "summarize", str(csv_path),
+            "--trace-out", str(trace_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        names = {s["name"] for s in json.loads(trace_path.read_text())["spans"]}
+        assert "summarize" in names
+        assert "{" not in captured.err  # dump went to the file, not stderr
+
+    def test_obs_disabled_after_run(self, tmp_path, capsys):
+        from repro import obs
+
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        csv_path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, csv_path)
+        assert main(["--training", "40", "summarize", str(csv_path), "--trace"]) == 0
+        capsys.readouterr()
+        assert not obs.tracing_enabled()
+        assert not obs.metrics_enabled()
+
+    def test_verbose_flag_parses(self):
+        args = build_parser().parse_args(["summarize", "x.csv", "-vv"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["demo"])
+        assert args.verbose == 0 and args.trace is False

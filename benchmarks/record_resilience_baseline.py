@@ -1,0 +1,113 @@
+"""Record the resilience-layer overhead baseline (``BENCH_resilience.json``).
+
+Measures what the robustness machinery costs on the happy path, where it
+should be nearly free:
+
+* **sanitizer** — :func:`repro.trajectory.sanitize_trajectory` on clean
+  input (nothing to repair, the input object is returned as-is);
+* **batch** — :meth:`STMaker.summarize_many` (per-item error isolation,
+  retry bookkeeping, deadline checks, sanitize on) versus a plain loop of
+  :meth:`STMaker.summarize` calls over the same trajectories.
+
+The two configurations are interleaved round-by-round and the median of
+several rounds is reported, so scheduler noise does not masquerade as
+resilience overhead.  Results are written to ``BENCH_resilience.json`` at
+the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_resilience_baseline.py [--rounds 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.simulate import CityScenario, ScenarioConfig
+from repro.trajectory import sanitize_trajectory
+
+
+def _time_ms(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def run(rounds: int, n_trips: int) -> dict:
+    scenario = CityScenario.build(
+        ScenarioConfig(seed=7, n_training_trips=400, training_days=5)
+    )
+    stmaker = scenario.stmaker
+    trips = [
+        scenario.simulate_trip(depart_time=(8.0 + 0.25 * i) * 3600.0).raw
+        for i in range(n_trips)
+    ]
+
+    # Warm-up: fault in caches on both paths.
+    stmaker.summarize_many(trips[:5], k=2)
+    for raw in trips[:5]:
+        stmaker.summarize(raw, k=2)
+
+    loop_ms: list[float] = []
+    batch_ms: list[float] = []
+    sanitize_us: list[float] = []
+    for _ in range(rounds):
+        loop_ms.append(
+            _time_ms(lambda: [stmaker.summarize(raw, k=2) for raw in trips])
+            / len(trips)
+        )
+        batch_ms.append(
+            _time_ms(lambda: stmaker.summarize_many(trips, k=2)) / len(trips)
+        )
+        sanitize_us.append(
+            _time_ms(lambda: [sanitize_trajectory(raw) for raw in trips])
+            / len(trips)
+            * 1000.0
+        )
+
+    loop = statistics.median(loop_ms)
+    batch = statistics.median(batch_ms)
+    sanitize = statistics.median(sanitize_us)
+    return {
+        "benchmark": (
+            "summarize loop vs summarize_many (mean ms per trajectory), "
+            "plus clean-input sanitizer cost"
+        ),
+        "rounds": rounds,
+        "n_trips": n_trips,
+        "loop_summarize_ms": {"median": loop, "rounds": loop_ms},
+        "batch_summarize_many_ms": {"median": batch, "rounds": batch_ms},
+        "batch_overhead_pct": 100.0 * (batch - loop) / loop,
+        "sanitize_clean_us": {"median": sanitize, "rounds": sanitize_us},
+        "note": (
+            "summarize_many runs with sanitize=True, so its overhead column "
+            "already includes the sanitizer pass; 'sanitize_clean_us' is the "
+            "standalone cost of cleaning an already-clean trajectory."
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--trips", type=int, default=40)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+        ),
+    )
+    args = parser.parse_args()
+    payload = run(args.rounds, args.trips)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwritten to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ Quickstart::
 from repro.exceptions import (
     CalibrationError,
     ConfigError,
+    DeadlineExceeded,
     FeatureError,
     GeometryError,
     MapMatchError,
@@ -30,6 +31,7 @@ from repro.exceptions import (
     RoadNetworkError,
     SummarizationError,
     TrajectoryError,
+    TransientError,
 )
 
 __version__ = "1.0.0"
@@ -45,6 +47,8 @@ __all__ = [
     "FeatureError",
     "PartitionError",
     "SummarizationError",
+    "TransientError",
+    "DeadlineExceeded",
     "ConfigError",
     "CityScenario",
     "ScenarioConfig",

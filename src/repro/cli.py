@@ -3,8 +3,10 @@
 ``stmaker demo`` builds a deterministic city scenario, simulates a trip and
 prints its summaries at several granularities (the Fig. 6 experience);
 ``stmaker summarize`` runs the pipeline on a user-supplied CSV trajectory
-recorded inside the synthetic city; ``stmaker experiment`` regenerates any
-of the paper's evaluation figures from the command line.
+recorded inside the synthetic city (with ``--sanitize``/``--strict``/
+``--max-retries``/``--deadline`` resilience controls — see
+``docs/ROBUSTNESS.md``); ``stmaker experiment`` regenerates any of the
+paper's evaluation figures from the command line.
 
 Every subcommand also takes the observability flags:
 
@@ -72,8 +74,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.exceptions import SummarizationError
+    from repro.resilience import RetryPolicy
     from repro.trajectory import read_trajectory_csv
 
+    # Read the input before the (expensive) model build so malformed files
+    # fail fast with a one-line diagnostic.
+    trajectory = read_trajectory_csv(args.csv)
+    logger.debug(
+        "read %d points from %s (trajectory %s)",
+        len(trajectory.points), args.csv, trajectory.trajectory_id,
+    )
     if args.model:
         from repro.core import load_stmaker
 
@@ -81,12 +92,31 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         stmaker = load_stmaker(args.model)
     else:
         stmaker = _build_scenario(args.seed, args.training).stmaker
-    trajectory = read_trajectory_csv(args.csv)
-    logger.debug(
-        "read %d points from %s (trajectory %s)",
-        len(trajectory.points), args.csv, trajectory.trajectory_id,
-    )
-    summary = stmaker.summarize(trajectory, k=args.k)
+
+    if args.strict:
+        summary = stmaker.summarize(
+            trajectory, k=args.k, strict=True, sanitize=args.sanitize
+        )
+    else:
+        result = stmaker.summarize_many(
+            [trajectory], k=args.k, sanitize=args.sanitize,
+            retry=RetryPolicy(max_retries=args.max_retries),
+            deadline_s=args.deadline,
+        )
+        if result.quarantined:
+            entry = result.quarantined[0]
+            raise SummarizationError(
+                f"trajectory {entry.trajectory_id!r} quarantined after "
+                f"{entry.attempts} attempt(s): {entry.error}"
+            )
+        summary = result.summaries[0]
+        if args.sanitize and (report := result.sanitization[0]) and not report.clean:
+            logger.info("input sanitized: %r", report)
+        if summary.degradation.degraded:
+            logger.warning(
+                "summary degraded (stages: %s)",
+                ", ".join(summary.degradation.stages()),
+            )
     print(summary.text)
     return 0
 
@@ -207,6 +237,23 @@ def build_parser() -> argparse.ArgumentParser:
     summ.add_argument(
         "--model", default=None,
         help="trained model JSON (from 'stmaker train'); skips the rebuild",
+    )
+    resilience = summ.add_argument_group("resilience")
+    resilience.add_argument(
+        "--sanitize", action="store_true",
+        help="clean the input (dedup/sort timestamps, clip teleports) first",
+    )
+    resilience.add_argument(
+        "--strict", action="store_true",
+        help="raise on the first stage error instead of degrading gracefully",
+    )
+    resilience.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        help="retries for transient stage errors (default: 1)",
+    )
+    resilience.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; the trajectory is quarantined when exceeded",
     )
     summ.set_defaults(func=_cmd_summarize)
 

@@ -156,17 +156,27 @@ class FeatureSelector:
         symbolic: SymbolicTrajectory,
         segment_features: list[SegmentFeatures],
         span: PartitionSpan,
+        include_routing: bool = True,
     ) -> PartitionAssessment:
-        """Assess every registered feature on one partition."""
+        """Assess every registered feature on one partition.
+
+        With ``include_routing=False`` routing features are skipped
+        entirely — the moving-features-only mode the summarizer degrades to
+        when map matching is unavailable for the trajectory.
+        """
         with obs_span("select", segments=span.segment_count) as sp:
             segments = [segment_features[i] for i in span.segment_indexes()]
-            src = symbolic[span.start_landmark_index].landmark
-            dst = symbolic[span.end_landmark_index].landmark
-            popular_hops = self._popular_hops(src, dst)
+            popular_hops: list[RoutingFeatures] = []
+            if include_routing:
+                src = symbolic[span.start_landmark_index].landmark
+                dst = symbolic[span.end_landmark_index].landmark
+                popular_hops = self._popular_hops(src, dst)
 
             assessments = []
             for definition in self.registry:
                 if definition.kind is FeatureKind.ROUTING:
+                    if not include_routing:
+                        continue
                     assessment = self._assess_routing(definition, segments, popular_hops)
                 else:
                     assessment = self._assess_moving(definition, symbolic, span, segments)

@@ -10,32 +10,67 @@ full pipeline of Fig. 3 on a single trajectory:
 3. partition the symbolic trajectory (CRF potential + dynamic programming);
 4. select the most irregular features per partition;
 5. realize the summary text from the templates.
+
+By default every stage degrades gracefully instead of failing: a stage
+error triggers the stage's documented fallback and is recorded in the
+summary's :class:`~repro.resilience.DegradationReport` (``strict=True``
+restores raise-on-first-error).  ``STMaker.summarize_many`` adds per-item
+error isolation, bounded retry, deadline budgets and a quarantine list on
+top — see ``docs/ROBUSTNESS.md`` for the full degradation ladder.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import time
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.calibration import AnchorCalibrator, CalibrationConfig
 from repro.core.config import SummarizerConfig
 from repro.core.partition import optimal_k_partition, optimal_partition
-from repro.core.selection import FeatureSelector
+from repro.core.selection import FeatureSelector, PartitionAssessment
 from repro.core.similarity import segment_similarities
 from repro.core.templates import partition_sentence, summary_text
 from repro.core.types import PartitionSpan, PartitionSummary, TrajectorySummary
-from repro.exceptions import CalibrationError, PartitionError
+from repro.exceptions import (
+    CalibrationError,
+    PartitionError,
+    ReproError,
+    TransientError,
+)
 from repro.features import (
+    GRADE_OF_ROAD,
+    ROAD_WIDTH,
+    TRAFFIC_DIRECTION,
+    FeatureKind,
     FeaturePipeline,
     FeatureRegistry,
+    RoutingFeatures,
     SegmentFeatures,
     default_registry,
     normalized_vectors,
 )
 from repro.landmarks import LandmarkIndex
 from repro.obs import metrics, span, timed_span
-from repro.roadnet import RoadNetwork
+from repro.resilience import (
+    BatchResult,
+    Deadline,
+    DegradationEvent,
+    DegradationReport,
+    QuarantineEntry,
+    RetryPolicy,
+)
+from repro.roadnet import RoadGrade, RoadNetwork, TrafficDirection
 from repro.routes import HistoricalFeatureMap, PopularRouteMiner, TransferNetwork
-from repro.trajectory import RawTrajectory, SymbolicTrajectory
+from repro.trajectory import (
+    RawTrajectory,
+    SanitizerConfig,
+    SymbolicEntry,
+    SymbolicTrajectory,
+    sanitize_trajectory,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience import FaultInjector
 
 
 class STMaker:
@@ -67,6 +102,9 @@ class STMaker:
             self.registry, self.config, self.pipeline,
             self.popular_routes, feature_map, landmarks,
         )
+        #: Chaos hook: when set, consulted at every stage boundary.  Use
+        #: :meth:`repro.resilience.FaultInjector.installed` to scope it.
+        self.fault_injector: "FaultInjector | None" = None
 
     # -- training -----------------------------------------------------------------
 
@@ -154,7 +192,15 @@ class STMaker:
 
     # -- summarization ---------------------------------------------------------------
 
-    def summarize(self, raw: RawTrajectory, k: int | None = None) -> TrajectorySummary:
+    def summarize(
+        self,
+        raw: RawTrajectory,
+        k: int | None = None,
+        *,
+        strict: bool = False,
+        sanitize: bool = False,
+        sanitizer_config: SanitizerConfig | None = None,
+    ) -> TrajectorySummary:
         """Summarize one raw trajectory.
 
         With ``k=None`` the CRF-optimal partition is used (Sec. IV-C);
@@ -162,18 +208,38 @@ class STMaker:
         (Sec. IV-D).  A requested ``k`` larger than the number of segments
         is clamped — the finest possible granularity is one partition per
         segment.
+
+        By default each stage failure triggers that stage's fallback and is
+        recorded in ``summary.degradation``; :class:`TransientError` s
+        propagate so callers can retry.  ``strict=True`` disables every
+        fallback and raises on the first error.  ``sanitize=True`` runs
+        :func:`repro.trajectory.sanitize_trajectory` before calibration.
         """
         with timed_span(
             "summarize", trajectory_id=raw.trajectory_id, k=k
         ) as timer:
-            symbolic = self.calibrator.calibrate(raw)
-            summary = self.summarize_calibrated(raw, symbolic, k=k)
+            report = DegradationReport()
+            if sanitize:
+                raw, cleaned = sanitize_trajectory(raw, sanitizer_config)
+                if not cleaned.clean:
+                    report.add(DegradationEvent(
+                        "sanitize", "cleaned_input",
+                        f"repaired input: {cleaned!r}",
+                    ))
+            if strict:
+                self._inject("calibrate")
+                symbolic = self.calibrator.calibrate(raw)
+                summary = self.summarize_calibrated(raw, symbolic, k=k)
+            else:
+                summary = self._summarize_graceful(raw, k, report)
         m = metrics()
         m.counter("summarize.calls").inc()
         m.histogram("summarize.latency_ms").observe(timer.ms)
         m.histogram(
             "summarize.partitions", buckets=(1, 2, 3, 5, 8, 13, 21)
         ).observe(summary.partition_count)
+        if summary.degradation.degraded:
+            m.counter("resilience.degraded_summaries").inc()
         return summary
 
     def summarize_calibrated(
@@ -182,7 +248,12 @@ class STMaker:
         symbolic: SymbolicTrajectory,
         k: int | None = None,
     ) -> TrajectorySummary:
-        """Summarize a trajectory whose calibration is already available."""
+        """Summarize a trajectory whose calibration is already available.
+
+        This is the strict (raise-on-error) pipeline core; the graceful
+        path wraps the same stages with their fallbacks.
+        """
+        self._inject("extract")
         segment_features = self.pipeline.extract(raw, symbolic)
         spans = self.partition(symbolic, segment_features, k=k)
         partitions = []
@@ -194,6 +265,85 @@ class STMaker:
             raw.trajectory_id, summary_text(partitions), partitions
         )
 
+    def summarize_many(
+        self,
+        trajectories: Iterable[RawTrajectory],
+        k: int | None = None,
+        *,
+        sanitize: bool = True,
+        sanitizer_config: SanitizerConfig | None = None,
+        strict: bool = False,
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> BatchResult:
+        """Summarize a batch with per-item error isolation.
+
+        Each item is sanitized (on by default here — batches are the
+        serving path), summarized, and retried with deterministic backoff
+        when the failure is a :class:`TransientError`.  Items that still
+        fail — including degradation failures and items not started before
+        the ``deadline_s`` budget ran out — are quarantined, never raised,
+        so one malformed trajectory cannot take down the batch.  With
+        ``strict=True`` the first error raises instead (and no fallbacks
+        run inside the items either).
+        """
+        items = list(trajectories)
+        retry = retry or RetryPolicy()
+        deadline = Deadline(deadline_s)
+        result = BatchResult()
+        m = metrics()
+        m.counter("resilience.batch.calls").inc()
+        with span("summarize_many", items=len(items), k=k) as sp:
+            for index, raw in enumerate(items):
+                m.counter("resilience.batch.items").inc()
+                if deadline.expired:
+                    result.sanitization.append(None)
+                    result.quarantined.append(QuarantineEntry(
+                        index, raw.trajectory_id, "DeadlineExceeded",
+                        f"batch deadline budget of {deadline_s:g}s exhausted "
+                        f"before item {index}", 0,
+                    ))
+                    m.counter("resilience.batch.quarantined").inc()
+                    continue
+                attempts = 0
+                try:
+                    if sanitize:
+                        raw, cleaned = sanitize_trajectory(raw, sanitizer_config)
+                        result.sanitization.append(cleaned)
+                    else:
+                        result.sanitization.append(None)
+                    while True:
+                        attempts += 1
+                        try:
+                            result.summaries.append(
+                                self.summarize(raw, k=k, strict=strict)
+                            )
+                            m.counter("resilience.batch.ok").inc()
+                            break
+                        except TransientError:
+                            if attempts > retry.max_retries:
+                                raise
+                            delay = retry.delay_s(attempts)
+                            if delay >= deadline.remaining_s():
+                                raise  # backing off would blow the budget
+                            m.counter("resilience.batch.retries").inc()
+                            if delay > 0.0:
+                                sleeper(delay)
+                except ReproError as exc:
+                    if strict:
+                        raise
+                    if len(result.sanitization) <= index:
+                        result.sanitization.append(None)
+                    result.quarantined.append(QuarantineEntry(
+                        index, raw.trajectory_id, type(exc).__name__,
+                        str(exc), attempts,
+                    ))
+                    m.counter("resilience.batch.quarantined").inc()
+            sp.set_tag("ok", result.ok_count)
+            sp.set_tag("quarantined", result.quarantined_count)
+        return result
+
     def partition(
         self,
         symbolic: SymbolicTrajectory,
@@ -201,6 +351,7 @@ class STMaker:
         k: int | None = None,
     ) -> list[PartitionSpan]:
         """The partition step alone (useful for analysis and tests)."""
+        self._inject("partition")
         n_segments = len(segment_features)
         if n_segments != symbolic.segment_count:
             raise PartitionError(
@@ -222,6 +373,180 @@ class STMaker:
             k = max(1, min(k, n_segments))
             return optimal_k_partition(similarities, boundary_scores, k)
 
+    # -- graceful degradation --------------------------------------------------------
+
+    def _summarize_graceful(
+        self, raw: RawTrajectory, k: int | None, report: DegradationReport
+    ) -> TrajectorySummary:
+        """The five stages with their fallbacks (see docs/ROBUSTNESS.md).
+
+        :class:`TransientError` s are re-raised untouched at every stage —
+        they are expected to succeed on retry, so degrading on them would
+        permanently lose summary quality; ``summarize_many`` retries them.
+        """
+        try:
+            self._inject("calibrate")
+            symbolic = self.calibrator.calibrate(raw)
+        except TransientError:
+            raise
+        except ReproError as exc:
+            symbolic = self._geometric_calibrate(raw)
+            self._record(report, "calibrate", "geometric_anchors", exc)
+
+        include_routing = True
+        try:
+            self._inject("extract")
+            segment_features = self.pipeline.extract(raw, symbolic)
+        except TransientError:
+            raise
+        except ReproError as exc:
+            segment_features = self._extract_moving_only(raw, symbolic)
+            include_routing = False
+            self._record(report, "extract", "moving_features_only", exc)
+
+        try:
+            spans = self.partition(symbolic, segment_features, k=k)
+        except TransientError:
+            raise
+        except ReproError as exc:
+            spans = [PartitionSpan(0, symbolic.segment_count - 1)]
+            self._record(report, "partition", "single_partition", exc)
+
+        partitions = []
+        for i, part_span in enumerate(spans):
+            partitions.append(self._summarize_partition_graceful(
+                symbolic, segment_features, part_span, i == 0,
+                include_routing, report,
+            ))
+        return TrajectorySummary(
+            raw.trajectory_id, summary_text(partitions), partitions, report
+        )
+
+    def _summarize_partition_graceful(
+        self,
+        symbolic: SymbolicTrajectory,
+        segment_features: list[SegmentFeatures],
+        part_span: PartitionSpan,
+        is_first: bool,
+        include_routing: bool,
+        report: DegradationReport,
+    ) -> PartitionSummary:
+        try:
+            self._inject("select")
+            assessment = self.selector.assess(
+                symbolic, segment_features, part_span,
+                include_routing=include_routing,
+            )
+        except TransientError:
+            raise
+        except ReproError as exc:
+            assessment = PartitionAssessment(part_span, [], [])
+            self._record(report, "select", "no_features", exc)
+
+        source = self._safe_landmark_name(
+            symbolic[part_span.start_landmark_index].landmark, "origin of the trip"
+        )
+        destination = self._safe_landmark_name(
+            symbolic[part_span.end_landmark_index].landmark, "destination"
+        )
+        try:
+            self._inject("realize")
+            with span("realize", selected=len(assessment.selected)):
+                sentence = partition_sentence(
+                    source, destination, assessment.selected, self.registry, is_first
+                )
+        except TransientError:
+            raise
+        except ReproError as exc:
+            opener = "The car started from" if is_first else "Then it moved from"
+            sentence = f"{opener} the {source} to the {destination}."
+            self._record(report, "realize", "generic_sentence", exc)
+        metrics().counter("realize.sentences").inc()
+        return PartitionSummary(
+            part_span, source, destination,
+            assessment.assessments, assessment.selected, sentence,
+        )
+
+    def _geometric_calibrate(
+        self, raw: RawTrajectory, max_waypoints: int = 64
+    ) -> SymbolicTrajectory:
+        """Calibration fallback: snap waypoints to their nearest landmarks.
+
+        Ignores route geometry entirely — each sampled waypoint simply
+        adopts the closest landmark within a generous radius.  Cruder than
+        anchor calibration but survives sparse, noisy, or partly off-map
+        input.  Raises :class:`CalibrationError` when even this yields
+        fewer than two anchors (e.g. fully off-map trajectories).
+        """
+        radius_m = max(500.0, 4.0 * self.calibrator.config.search_radius_m)
+        step = max(1, len(raw) // max_waypoints)
+        waypoints = list(raw.points[::step])
+        if waypoints[-1] is not raw.points[-1]:
+            waypoints.append(raw.points[-1])
+        entries: list[SymbolicEntry] = []
+        for point in waypoints:
+            hit = self.landmarks.nearest(point.point, radius_m)
+            if hit is None:
+                continue
+            landmark = hit[1]
+            if entries and entries[-1].landmark == landmark.landmark_id:
+                continue
+            entries.append(SymbolicEntry(landmark.landmark_id, point.t))
+        if len(entries) < 2:
+            raise CalibrationError(
+                f"trajectory {raw.trajectory_id!r} yields {len(entries)} "
+                f"geometric anchor(s) within {radius_m:.0f} m; cannot summarize"
+            )
+        metrics().counter("resilience.geometric_calibrations").inc()
+        return SymbolicTrajectory(entries, raw.trajectory_id)
+
+    def _extract_moving_only(
+        self, raw: RawTrajectory, symbolic: SymbolicTrajectory
+    ) -> list[SegmentFeatures]:
+        """Extraction fallback: moving features only, no map matching.
+
+        Routing features get constant placeholder values so the partition
+        matrix stays complete; the selector is told to skip routing
+        assessments entirely, so the placeholders never reach the text.
+        """
+        placeholder = RoutingFeatures(RoadGrade.FEEDER, 0.0, TrafficDirection.TWO_WAY, "")
+        routing_defaults = {
+            GRADE_OF_ROAD: float(int(placeholder.grade)),
+            ROAD_WIDTH: placeholder.width_m,
+            TRAFFIC_DIRECTION: float(int(placeholder.direction)),
+        }
+        out = []
+        for segment in symbolic.segments():
+            values, moving = self.pipeline.extract_moving(raw, segment)
+            for definition in self.registry:
+                if definition.kind is FeatureKind.ROUTING:
+                    values[definition.key] = routing_defaults.get(definition.key, 0.0)
+            out.append(SegmentFeatures(segment, values, placeholder, moving))
+        metrics().counter("resilience.moving_only_extractions").inc()
+        return out
+
+    def _safe_landmark_name(self, landmark_id: int, default: str) -> str:
+        try:
+            return self.landmarks.get(landmark_id).name
+        except ReproError:
+            return default
+
+    def _inject(self, stage: str) -> None:
+        """Fault-injection hook: no-op unless an injector is installed."""
+        injector = self.fault_injector
+        if injector is not None:
+            injector.before(stage)
+
+    def _record(
+        self, report: DegradationReport, stage: str, fallback: str, exc: Exception
+    ) -> None:
+        report.add(DegradationEvent(
+            stage, fallback, f"{type(exc).__name__}: {exc}"
+        ))
+        m = metrics()
+        m.counter(f"resilience.fallback.{stage}").inc()
+        m.counter("resilience.fallbacks").inc()
+
     # -- internals ----------------------------------------------------------------------
 
     def _summarize_partition(
@@ -231,7 +556,9 @@ class STMaker:
         part_span: PartitionSpan,
         is_first: bool,
     ) -> PartitionSummary:
+        self._inject("select")
         assessment = self.selector.assess(symbolic, segment_features, part_span)
+        self._inject("realize")
         with span("realize", selected=len(assessment.selected)):
             source = self.landmarks.get(
                 symbolic[part_span.start_landmark_index].landmark

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import PartitionError
 from repro.features.base import FeatureKind
+from repro.resilience.degradation import DegradationReport
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +79,9 @@ class TrajectorySummary:
     trajectory_id: str
     text: str
     partitions: list[PartitionSummary]
+    #: Which fallbacks (if any) the pipeline needed to produce this summary;
+    #: empty for a pristine run.  See ``docs/ROBUSTNESS.md``.
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     @property
     def partition_count(self) -> int:

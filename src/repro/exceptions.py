@@ -48,5 +48,18 @@ class SummarizationError(ReproError):
     """Raised when the summarizer cannot produce a summary."""
 
 
+class TransientError(ReproError):
+    """A stage failure expected to succeed on retry (timeouts, flaky IO).
+
+    :meth:`STMaker.summarize` lets transient errors propagate instead of
+    degrading the summary, so a batch layer can retry the whole item with
+    backoff; :meth:`STMaker.summarize_many` does exactly that.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """Raised (or recorded) when a deadline budget runs out mid-batch."""
+
+
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""

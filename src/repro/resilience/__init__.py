@@ -1,0 +1,36 @@
+"""Resilience substrate: graceful degradation, batching policies, chaos.
+
+This package holds everything the pipeline needs to *survive* bad input
+and flaky stages instead of crashing:
+
+* :class:`DegradationReport` / :class:`DegradationEvent` — which fallbacks
+  a summary needed (attached to every ``TrajectorySummary``);
+* :class:`RetryPolicy` / :class:`Deadline` — deterministic backoff and
+  wall-clock budgets for ``STMaker.summarize_many``;
+* :class:`BatchResult` / :class:`QuarantineEntry` — per-item error
+  isolation for batches;
+* :class:`FaultInjector` / :class:`FaultSpec` — the seeded chaos harness
+  that proves every fallback path actually fires.
+
+The input-cleaning half lives in :mod:`repro.trajectory.sanitize`; the
+degradation ladder itself is implemented in :mod:`repro.core.summarizer`.
+See ``docs/ROBUSTNESS.md`` for the guided tour.
+"""
+
+from repro.resilience.batch import BatchResult, QuarantineEntry
+from repro.resilience.degradation import STAGES, DegradationEvent, DegradationReport
+from repro.resilience.faultinject import FaultInjector, FaultSpec, InjectedFault
+from repro.resilience.policy import Deadline, RetryPolicy
+
+__all__ = [
+    "STAGES",
+    "DegradationEvent",
+    "DegradationReport",
+    "RetryPolicy",
+    "Deadline",
+    "BatchResult",
+    "QuarantineEntry",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+]

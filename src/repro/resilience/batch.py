@@ -1,0 +1,72 @@
+"""Result types for batch summarization with per-item error isolation.
+
+A batch never raises because one trajectory is broken (unless ``strict``):
+healthy items come back as summaries, broken ones land in the quarantine
+list with enough context to triage them offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.trajectory.sanitize import SanitizationReport
+
+if TYPE_CHECKING:  # avoid the repro.core <-> repro.resilience import cycle
+    from repro.core.types import TrajectorySummary
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantineEntry:
+    """One trajectory that failed even after degradation (or retries)."""
+
+    #: Position of the item in the input batch.
+    index: int
+    trajectory_id: str
+    #: Exception class name (``"CalibrationError"``, ``"DeadlineExceeded"``, ...).
+    error_type: str
+    #: Exception message.
+    error: str
+    #: How many summarization attempts were made (0 = never started).
+    attempts: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "trajectory_id": self.trajectory_id,
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Outcome of :meth:`repro.core.STMaker.summarize_many`."""
+
+    #: Summaries of the healthy items, in input order.
+    summaries: list["TrajectorySummary"] = field(default_factory=list)
+    #: Items that could not be summarized at all.
+    quarantined: list[QuarantineEntry] = field(default_factory=list)
+    #: Per-item sanitization reports (input order; ``None`` when sanitization
+    #: was disabled or the item was quarantined before cleaning).
+    sanitization: list[SanitizationReport | None] = field(default_factory=list)
+
+    @property
+    def ok_count(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def degraded_count(self) -> int:
+        """How many of the healthy summaries needed at least one fallback."""
+        return sum(1 for s in self.summaries if s.degradation.degraded)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(ok={self.ok_count}, degraded={self.degraded_count}, "
+            f"quarantined={self.quarantined_count})"
+        )

@@ -1,0 +1,75 @@
+"""Degradation ladder bookkeeping.
+
+When a pipeline stage fails and :class:`repro.core.STMaker` substitutes a
+fallback (geometric anchors, moving-features-only extraction, a single
+partition, a generic sentence), the substitution is recorded as a
+:class:`DegradationEvent` in the summary's :class:`DegradationReport` so
+callers can tell a pristine summary from a best-effort one.
+
+See ``docs/ROBUSTNESS.md`` for the full degradation ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The five pipeline stages, in execution order.  Fault injection and
+#: degradation events both use these names.
+STAGES: tuple[str, ...] = ("calibrate", "extract", "partition", "select", "realize")
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationEvent:
+    """One stage failure that was absorbed by a fallback."""
+
+    #: Stage that failed — one of :data:`STAGES` or ``"sanitize"``.
+    stage: str
+    #: Name of the fallback that stood in (e.g. ``"geometric_anchors"``).
+    fallback: str
+    #: ``"ErrorType: message"`` of the absorbed exception.
+    reason: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"stage": self.stage, "fallback": self.fallback, "reason": self.reason}
+
+
+class DegradationReport:
+    """Ordered collection of the degradation events of one summarization."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: tuple[DegradationEvent, ...] | list[DegradationEvent] = ()) -> None:
+        self.events: list[DegradationEvent] = list(events)
+
+    def add(self, event: DegradationEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one fallback fired."""
+        return bool(self.events)
+
+    def stages(self) -> list[str]:
+        """Stages that degraded, in the order they fired (deduplicated)."""
+        return list(dict.fromkeys(event.stage for event in self.events))
+
+    def for_stage(self, stage: str) -> list[DegradationEvent]:
+        return [event for event in self.events if event.stage == stage]
+
+    def to_dict(self) -> dict[str, object]:
+        return {"degraded": self.degraded, "events": [e.to_dict() for e in self.events]}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[DegradationEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return self.degraded
+
+    def __repr__(self) -> str:
+        if not self.events:
+            return "DegradationReport(clean)"
+        return f"DegradationReport(stages={self.stages()})"

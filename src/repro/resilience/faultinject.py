@@ -1,0 +1,129 @@
+"""Deterministic fault injection for the summarization pipeline.
+
+The harness arms exceptions and/or latency against named pipeline stages;
+:class:`repro.core.STMaker` consults its installed injector at every stage
+boundary.  Everything is deterministic: firing is governed by explicit
+per-spec counters or by a seeded RNG, never by wall-clock state, so a chaos
+test replays identically on every run.
+
+Typical chaos-test usage::
+
+    injector = FaultInjector([FaultSpec(stage="partition")])
+    with injector.installed(stmaker):
+        summary = stmaker.summarize(raw)          # degrades, does not raise
+    assert "partition" in summary.degradation.stages()
+    assert injector.fired("partition") == 1
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.exceptions import ConfigError, ReproError
+from repro.resilience.degradation import STAGES
+
+
+class InjectedFault(ReproError):
+    """Default exception raised by an armed :class:`FaultSpec`."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One armed fault: which stage, what to do, how often.
+
+    ``error`` is an exception *type* instantiated with a message at fire
+    time (``None`` = latency only).  ``times`` bounds how often the spec
+    fires (``None`` = every matching call).  When ``probability`` is set,
+    each matching call fires with that seeded probability instead of
+    unconditionally.
+    """
+
+    #: Stage name from :data:`repro.resilience.STAGES`, or ``"*"`` for all.
+    stage: str
+    error: type[BaseException] | None = InjectedFault
+    latency_s: float = 0.0
+    times: int | None = 1
+    probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.stage != "*" and self.stage not in STAGES:
+            raise ConfigError(
+                f"unknown stage {self.stage!r}; expected one of {STAGES} or '*'"
+            )
+        if self.latency_s < 0.0:
+            raise ConfigError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.times is not None and self.times < 0:
+            raise ConfigError(f"times must be >= 0, got {self.times}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(f"probability must be in [0, 1], got {self.probability}")
+
+
+class FaultInjector:
+    """Evaluates armed :class:`FaultSpec` s at stage boundaries."""
+
+    def __init__(
+        self,
+        specs: Iterable[FaultSpec],
+        seed: int = 0,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._specs = list(specs)
+        self._remaining = [spec.times for spec in self._specs]
+        self._rng = random.Random(seed)
+        self._sleeper = sleeper
+        self._fired: dict[str, int] = {}
+
+    @classmethod
+    def raising(
+        cls,
+        stage: str,
+        error: type[BaseException] = InjectedFault,
+        times: int | None = 1,
+        seed: int = 0,
+    ) -> "FaultInjector":
+        """Shorthand for a single exception-raising spec."""
+        return cls([FaultSpec(stage=stage, error=error, times=times)], seed=seed)
+
+    def before(self, stage: str) -> None:
+        """Called by the pipeline when *stage* is about to run.
+
+        Applies latency, then raises, for every armed spec matching the
+        stage.  A no-op when nothing matches or all specs are exhausted.
+        """
+        for i, spec in enumerate(self._specs):
+            if spec.stage not in (stage, "*"):
+                continue
+            if self._remaining[i] == 0:
+                continue
+            if spec.probability is not None and self._rng.random() >= spec.probability:
+                continue
+            if self._remaining[i] is not None:
+                self._remaining[i] -= 1
+            self._fired[stage] = self._fired.get(stage, 0) + 1
+            if spec.latency_s > 0.0:
+                self._sleeper(spec.latency_s)
+            if spec.error is not None:
+                raise spec.error(f"injected fault in stage {stage!r}")
+
+    def fired(self, stage: str | None = None) -> int:
+        """How often faults fired — for one stage, or in total."""
+        if stage is not None:
+            return self._fired.get(stage, 0)
+        return sum(self._fired.values())
+
+    def fired_by_stage(self) -> dict[str, int]:
+        return dict(self._fired)
+
+    @contextlib.contextmanager
+    def installed(self, stmaker) -> Iterator["FaultInjector"]:
+        """Install this injector on *stmaker* for the duration of the block."""
+        previous = stmaker.fault_injector
+        stmaker.fault_injector = self
+        try:
+            yield self
+        finally:
+            stmaker.fault_injector = previous

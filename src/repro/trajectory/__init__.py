@@ -41,6 +41,13 @@ from repro.trajectory.resample import (
     downsample_by_time,
     take_every,
 )
+from repro.trajectory.sanitize import (
+    SanitizationReport,
+    SanitizerConfig,
+    sanitize_points,
+    sanitize_records,
+    sanitize_trajectory,
+)
 
 __all__ = [
     "TrajectoryPoint",
@@ -72,4 +79,9 @@ __all__ = [
     "downsample_by_time",
     "downsample_by_distance",
     "take_every",
+    "SanitizerConfig",
+    "SanitizationReport",
+    "sanitize_records",
+    "sanitize_points",
+    "sanitize_trajectory",
 ]

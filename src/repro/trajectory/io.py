@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterable
 
-from repro.exceptions import TrajectoryError
+from repro.exceptions import GeometryError, TrajectoryError
 from repro.geo import GeoPoint
 from repro.trajectory.model import RawTrajectory, TrajectoryPoint
 
@@ -60,9 +61,13 @@ def read_trajectory_csv(path: str | Path, trajectory_id: str | None = None) -> R
                 raise TrajectoryError(f"{path}:{row_num}: expected 3 columns, got {len(row)}")
             try:
                 lat, lon = float(row[0]), float(row[1])
-            except ValueError as exc:
-                raise TrajectoryError(f"{path}:{row_num}: bad coordinates") from exc
-            points.append(TrajectoryPoint(GeoPoint(lat, lon), parse_timestamp(row[2])))
+                point = GeoPoint(lat, lon)
+            except (ValueError, GeometryError) as exc:
+                raise TrajectoryError(f"{path}:{row_num}: bad coordinates: {exc}") from exc
+            t = parse_timestamp(row[2])
+            if not math.isfinite(t):
+                raise TrajectoryError(f"{path}:{row_num}: non-finite timestamp {row[2]!r}")
+            points.append(TrajectoryPoint(point, t))
     return RawTrajectory(points, trajectory_id or path.stem)
 
 
@@ -89,13 +94,19 @@ def trajectory_to_dict(trajectory: RawTrajectory) -> dict:
 
 
 def trajectory_from_dict(data: dict) -> RawTrajectory:
-    """Inverse of :func:`trajectory_to_dict`."""
+    """Inverse of :func:`trajectory_to_dict`.
+
+    Raises :class:`TrajectoryError` (never a bare ``KeyError``/``ValueError``)
+    for missing keys, non-numeric fields, and NaN/inf values.
+    """
     try:
-        points = [
-            TrajectoryPoint(GeoPoint(p["lat"], p["lon"]), float(p["t"]))
-            for p in data["points"]
-        ]
-    except (KeyError, TypeError) as exc:
+        points = []
+        for p in data["points"]:
+            t = float(p["t"])
+            if not math.isfinite(t):
+                raise TrajectoryError(f"non-finite timestamp {p['t']!r}")
+            points.append(TrajectoryPoint(GeoPoint(float(p["lat"]), float(p["lon"])), t))
+    except (KeyError, TypeError, ValueError, GeometryError) as exc:
         raise TrajectoryError(f"malformed trajectory dict: {exc}") from exc
     return RawTrajectory(points, data.get("id", ""))
 
@@ -107,8 +118,23 @@ def save_trajectories_json(trajectories: Iterable[RawTrajectory], path: str | Pa
 
 
 def load_trajectories_json(path: str | Path) -> list[RawTrajectory]:
-    """Read trajectories written by :func:`save_trajectories_json`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read trajectories written by :func:`save_trajectories_json`.
+
+    Empty, truncated, or otherwise invalid JSON raises a typed
+    :class:`TrajectoryError` naming the file, never a bare decode error.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        raise TrajectoryError(f"{path}: empty trajectory file")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TrajectoryError(f"{path}: truncated or invalid JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise TrajectoryError(
+            f"{path}: expected a JSON list of trajectories, got {type(payload).__name__}"
+        )
     return [trajectory_from_dict(item) for item in payload]
 
 

@@ -1,0 +1,220 @@
+"""Input sanitization for raw GPS trajectories.
+
+Real traces carry duplicate timestamps, out-of-order samples, dead zones
+and teleport glitches; this module is the composable cleaning pass applied
+before calibration.  Three entry points, from rawest to cleanest input:
+
+* :func:`sanitize_records` — ``(lat, lon, t)`` triples straight off the
+  wire: drops non-finite and out-of-range fields before a
+  :class:`~repro.geo.GeoPoint` is ever constructed;
+* :func:`sanitize_points` — constructed :class:`TrajectoryPoint` s: sorts
+  by time, deduplicates equal timestamps, clips physically impossible
+  speed spikes (teleports);
+* :func:`sanitize_trajectory` — a :class:`RawTrajectory` in, a cleaned
+  :class:`RawTrajectory` out; raises :class:`TrajectoryError` when fewer
+  than two samples survive.
+
+Every pass reports exactly what it removed in a
+:class:`SanitizationReport`, so cleaning is observable, never silent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import TrajectoryError
+from repro.geo import GeoPoint, haversine_m
+from repro.obs import metrics
+from repro.trajectory.model import RawTrajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True, slots=True)
+class SanitizerConfig:
+    """Knobs of the cleaning pass (see ``docs/ROBUSTNESS.md``)."""
+
+    #: Implied speeds above this are physically impossible for road traffic;
+    #: the offending sample is treated as a teleport glitch and dropped.
+    max_speed_kmh: float = 300.0
+    #: After this many consecutive teleport drops the jump is accepted as a
+    #: genuine relocation (e.g. a GPS dead zone), not a glitch.
+    max_consecutive_teleport_drops: int = 3
+    #: Samples whose timestamps differ by no more than this are duplicates;
+    #: the first one wins.
+    duplicate_epsilon_s: float = 0.0
+    #: Re-sort out-of-order samples by timestamp (stable) before cleaning.
+    sort_timestamps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_speed_kmh <= 0.0:
+            raise TrajectoryError("max_speed_kmh must be positive")
+        if self.max_consecutive_teleport_drops < 1:
+            raise TrajectoryError("max_consecutive_teleport_drops must be >= 1")
+        if self.duplicate_epsilon_s < 0.0:
+            raise TrajectoryError("duplicate_epsilon_s must be >= 0")
+
+
+@dataclass(slots=True)
+class SanitizationReport:
+    """What one cleaning pass removed (and kept)."""
+
+    total: int = 0
+    kept: int = 0
+    dropped_nonfinite: int = 0
+    dropped_out_of_range: int = 0
+    dropped_duplicates: int = 0
+    dropped_teleports: int = 0
+    #: Samples that were out of timestamp order and had to be re-sorted.
+    reordered: int = 0
+
+    @property
+    def dropped_total(self) -> int:
+        return (
+            self.dropped_nonfinite
+            + self.dropped_out_of_range
+            + self.dropped_duplicates
+            + self.dropped_teleports
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when the input needed no repair at all."""
+        return self.dropped_total == 0 and self.reordered == 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "total": self.total,
+            "kept": self.kept,
+            "dropped_nonfinite": self.dropped_nonfinite,
+            "dropped_out_of_range": self.dropped_out_of_range,
+            "dropped_duplicates": self.dropped_duplicates,
+            "dropped_teleports": self.dropped_teleports,
+            "reordered": self.reordered,
+            "clean": self.clean,
+        }
+
+    def merge(self, other: "SanitizationReport") -> "SanitizationReport":
+        """Combine two passes over the same data into one report."""
+        return SanitizationReport(
+            total=max(self.total, other.total),
+            kept=other.kept,
+            dropped_nonfinite=self.dropped_nonfinite + other.dropped_nonfinite,
+            dropped_out_of_range=self.dropped_out_of_range + other.dropped_out_of_range,
+            dropped_duplicates=self.dropped_duplicates + other.dropped_duplicates,
+            dropped_teleports=self.dropped_teleports + other.dropped_teleports,
+            reordered=self.reordered + other.reordered,
+        )
+
+    def __repr__(self) -> str:
+        if self.clean:
+            return f"SanitizationReport(clean, kept={self.kept})"
+        return (
+            f"SanitizationReport(kept={self.kept}/{self.total}, "
+            f"nonfinite={self.dropped_nonfinite}, range={self.dropped_out_of_range}, "
+            f"dup={self.dropped_duplicates}, teleport={self.dropped_teleports}, "
+            f"reordered={self.reordered})"
+        )
+
+
+def sanitize_records(
+    records: Iterable[Sequence[float]],
+) -> tuple[list[TrajectoryPoint], SanitizationReport]:
+    """Build points from raw ``(lat, lon, t)`` triples, dropping bad ones.
+
+    A record is dropped (and counted) when any field is non-numeric or
+    non-finite, or a coordinate is outside WGS-84 range.  Ordering and
+    speed repairs are left to :func:`sanitize_points`.
+    """
+    report = SanitizationReport()
+    points: list[TrajectoryPoint] = []
+    for record in records:
+        report.total += 1
+        try:
+            lat, lon, t = float(record[0]), float(record[1]), float(record[2])
+        except (TypeError, ValueError, IndexError):
+            report.dropped_nonfinite += 1
+            continue
+        if not (math.isfinite(lat) and math.isfinite(lon) and math.isfinite(t)):
+            report.dropped_nonfinite += 1
+            continue
+        if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+            report.dropped_out_of_range += 1
+            continue
+        points.append(TrajectoryPoint(GeoPoint(lat, lon), t))
+    report.kept = len(points)
+    return points, report
+
+
+def sanitize_points(
+    points: Sequence[TrajectoryPoint], config: SanitizerConfig | None = None
+) -> tuple[list[TrajectoryPoint], SanitizationReport]:
+    """Sort, deduplicate and despike an already-constructed point sequence.
+
+    Coordinates inside a :class:`~repro.geo.GeoPoint` are always finite and
+    in range, so only the timestamp can still be non-finite here.
+    """
+    config = config or SanitizerConfig()
+    report = SanitizationReport(total=len(points))
+
+    finite = []
+    for p in points:
+        if math.isfinite(p.t):
+            finite.append(p)
+        else:
+            report.dropped_nonfinite += 1
+
+    if config.sort_timestamps:
+        report.reordered = sum(
+            1 for a, b in zip(finite, finite[1:]) if b.t < a.t
+        )
+        if report.reordered:
+            finite = sorted(finite, key=lambda p: p.t)
+
+    kept: list[TrajectoryPoint] = []
+    consecutive_teleports = 0
+    for p in finite:
+        if not kept:
+            kept.append(p)
+            continue
+        prev = kept[-1]
+        dt = p.t - prev.t
+        if dt <= config.duplicate_epsilon_s:
+            report.dropped_duplicates += 1
+            continue
+        speed_kmh = haversine_m(prev.point, p.point) / dt * 3.6
+        if speed_kmh > config.max_speed_kmh:
+            consecutive_teleports += 1
+            if consecutive_teleports <= config.max_consecutive_teleport_drops:
+                report.dropped_teleports += 1
+                continue
+            # Too many "glitches" in a row: this is a genuine relocation
+            # (dead zone); accept the point and stop second-guessing it.
+        consecutive_teleports = 0
+        kept.append(p)
+    report.kept = len(kept)
+    return kept, report
+
+
+def sanitize_trajectory(
+    trajectory: RawTrajectory, config: SanitizerConfig | None = None
+) -> tuple[RawTrajectory, SanitizationReport]:
+    """Clean a raw trajectory; raise when too little of it survives.
+
+    Returns the input object itself (not a copy) when nothing needed
+    repair.  Raises :class:`TrajectoryError` when fewer than two samples
+    remain after cleaning — such input cannot be summarized at all.
+    """
+    points, report = sanitize_points(trajectory.points, config)
+    m = metrics()
+    m.counter("resilience.sanitize.calls").inc()
+    if report.dropped_total:
+        m.counter("resilience.sanitize.points_dropped").inc(report.dropped_total)
+    if len(points) < 2:
+        raise TrajectoryError(
+            f"trajectory {trajectory.trajectory_id!r} is empty after "
+            f"sanitization: {report.kept} of {report.total} samples survived"
+        )
+    if report.clean:
+        return trajectory, report
+    return RawTrajectory(points, trajectory.trajectory_id), report

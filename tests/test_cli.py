@@ -23,6 +23,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_resilience_flag_defaults(self):
+        args = build_parser().parse_args(["summarize", "x.csv"])
+        assert args.sanitize is False
+        assert args.strict is False
+        assert args.max_retries == 1
+        assert args.deadline is None
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args([
+            "summarize", "x.csv", "--sanitize", "--strict",
+            "--max-retries", "3", "--deadline", "2.5",
+        ])
+        assert args.sanitize and args.strict
+        assert args.max_retries == 3
+        assert args.deadline == 2.5
+
 
 class TestCommands:
     def test_demo_prints_summaries(self, capsys):
@@ -64,6 +80,40 @@ class TestCommands:
         err = capsys.readouterr().err
         assert code == 1
         assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_unsummarizable_input_is_quarantined(self, tmp_path, capsys):
+        # A trajectory far outside the scenario map cannot be calibrated
+        # even by the geometric fallback; the batch layer quarantines it
+        # and the CLI turns that into a one-line diagnostic.
+        from repro.trajectory import RawTrajectory, TrajectoryPoint
+
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        projector = scenario.network.projector
+        off_map = RawTrajectory(
+            [
+                TrajectoryPoint(
+                    projector.to_point(90_000.0 + i * 50.0, 90_000.0), i * 5.0
+                )
+                for i in range(20)
+            ],
+            "offmap",
+        )
+        path = tmp_path / "offmap.csv"
+        write_trajectory_csv(off_map, path)
+        code = main(["--training", "40", "summarize", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err and "quarantined" in err
+        assert "Traceback" not in err
+
+    def test_strict_flag_raises_without_quarantine(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("91.5,116.3,100\n")
+        code = main(["--training", "40", "summarize", str(bad), "--strict"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err and "quarantined" not in err
 
 
 class TestObservabilityFlags:

@@ -97,6 +97,25 @@ class TestCsv:
         assert read_trajectory_csv(path).trajectory_id == "taxi42"
 
 
+    def test_nan_coordinate_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("nan,116.3,100\n39.9,116.3,200\n")
+        with pytest.raises(TrajectoryError, match="bad coordinates"):
+            read_trajectory_csv(path)
+
+    def test_out_of_range_latitude_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("200.0,116.3,100\n")
+        with pytest.raises(TrajectoryError, match="bad coordinates"):
+            read_trajectory_csv(path)
+
+    def test_nonfinite_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("39.9,116.3,inf\n")
+        with pytest.raises(TrajectoryError, match="non-finite timestamp"):
+            read_trajectory_csv(path)
+
+
 class TestJson:
     def test_dict_roundtrip(self, sample_trajectory):
         back = trajectory_from_dict(trajectory_to_dict(sample_trajectory))
@@ -107,9 +126,49 @@ class TestJson:
         with pytest.raises(TrajectoryError):
             trajectory_from_dict({"points": [{"lat": 1.0}]})
 
+    def test_missing_points_key_rejected(self):
+        with pytest.raises(TrajectoryError, match="malformed trajectory dict"):
+            trajectory_from_dict({"id": "x"})
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(TrajectoryError, match="malformed trajectory dict"):
+            trajectory_from_dict(
+                {"points": [{"lat": "north", "lon": 116.3, "t": 1.0}]}
+            )
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(TrajectoryError):
+            trajectory_from_dict(
+                {"points": [{"lat": float("nan"), "lon": 116.3, "t": 1.0}]}
+            )
+        with pytest.raises(TrajectoryError, match="non-finite timestamp"):
+            trajectory_from_dict(
+                {"points": [{"lat": 39.9, "lon": 116.3, "t": float("inf")}]}
+            )
+
     def test_multi_trajectory_file(self, sample_trajectory, tmp_path):
         path = tmp_path / "many.json"
         save_trajectories_json([sample_trajectory, sample_trajectory], path)
         back = load_trajectories_json(path)
         assert len(back) == 2
         assert all(len(t) == 3 for t in back)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("   \n")
+        with pytest.raises(TrajectoryError, match="empty trajectory file"):
+            load_trajectories_json(path)
+
+    def test_truncated_file_rejected(self, sample_trajectory, tmp_path):
+        path = tmp_path / "cut.json"
+        save_trajectories_json([sample_trajectory], path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(TrajectoryError, match="truncated or invalid JSON"):
+            load_trajectories_json(path)
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "obj.json"
+        path.write_text("{}")
+        with pytest.raises(TrajectoryError, match="expected a JSON list"):
+            load_trajectories_json(path)

@@ -1,15 +1,16 @@
 """Record the observability no-op overhead baseline (``BENCH_obs.json``).
 
-Runs the Fig. 12 efficiency workload twice over the same scenario and
-trips — once with tracing + metrics fully enabled, once fully disabled —
-and writes the paired per-trajectory means plus the relative overhead to
+Runs the Fig. 12 efficiency workload over the same scenario and trips —
+once with tracing + metrics fully enabled, once fully disabled — and
+writes the paired per-trajectory means plus the relative overhead to
 ``BENCH_obs.json`` at the repository root.  The acceptance bar is that the
 disabled ("no-op") path costs < 5 % relative to a build without any
 instrumentation, and that even the *enabled* path stays cheap.
 
-The two configurations are interleaved round-by-round and the median of
-several rounds is reported, so scheduler noise does not masquerade as
-instrumentation overhead.
+Timing goes through :mod:`harness` (``measure_interleaved``): the two
+configurations run round-robin and the median of several rounds is
+reported, so scheduler noise does not masquerade as instrumentation
+overhead.  The run is also appended to ``BENCH_history.jsonl``.
 
 Usage::
 
@@ -23,6 +24,7 @@ import json
 import statistics
 from pathlib import Path
 
+import harness
 from repro import obs
 from repro.experiments import run_efficiency
 from repro.simulate import CityScenario, ScenarioConfig
@@ -38,31 +40,46 @@ def run(rounds: int, n_trips: int) -> dict:
     scenario = CityScenario.build(
         ScenarioConfig(seed=7, n_training_trips=400, training_days=5)
     )
-    # Warm-up: fault in caches and JIT-ish lazy structures on both paths.
-    run_efficiency(scenario, n_trips=10)
 
-    disabled_ms: list[float] = []
-    enabled_ms: list[float] = []
-    for _ in range(rounds):
+    def disabled() -> float:
         obs.disable_tracing()
         obs.disable_metrics()
-        disabled_ms.append(_mean_ms(run_efficiency(scenario, n_trips=n_trips)))
+        return _mean_ms(run_efficiency(scenario, n_trips=n_trips))
 
+    def enabled() -> float:
         obs.enable_tracing(max_spans=500_000)
         obs.enable_metrics()
-        enabled_ms.append(_mean_ms(run_efficiency(scenario, n_trips=n_trips)))
-    obs.disable_tracing()
-    obs.disable_metrics()
+        try:
+            return _mean_ms(run_efficiency(scenario, n_trips=n_trips))
+        finally:
+            obs.disable_tracing()
+            obs.disable_metrics()
 
-    disabled = statistics.median(disabled_ms)
-    enabled = statistics.median(enabled_ms)
+    # The harness interleaves the configurations round-by-round; warmup
+    # faults in caches and lazy structures on both paths before timing.
+    stats = harness.measure_interleaved(
+        {"obs.disabled_mean_ms": disabled, "obs.enabled_mean_ms": enabled},
+        repeats=rounds, warmup=1, sample="returned",
+    )
+    harness.append_history(stats, mode="obs_baseline")
+
+    disabled_stats = stats["obs.disabled_mean_ms"]
+    enabled_stats = stats["obs.enabled_mean_ms"]
     return {
         "benchmark": "bench_fig12_efficiency (run_efficiency mean ms per trajectory)",
         "rounds": rounds,
         "n_trips": n_trips,
-        "disabled_ms": {"median": disabled, "rounds": disabled_ms},
-        "enabled_ms": {"median": enabled, "rounds": enabled_ms},
-        "enabled_overhead_pct": 100.0 * (enabled - disabled) / disabled,
+        "disabled_ms": {
+            "median": disabled_stats.median_ms,
+            "rounds": list(disabled_stats.samples_ms),
+        },
+        "enabled_ms": {
+            "median": enabled_stats.median_ms,
+            "rounds": list(enabled_stats.samples_ms),
+        },
+        "enabled_overhead_pct": 100.0
+        * (enabled_stats.median_ms - disabled_stats.median_ms)
+        / disabled_stats.median_ms,
         "note": (
             "'disabled' is the default no-op observability path; the < 5 % "
             "acceptance bound applies to it versus an uninstrumented build. "

@@ -9,10 +9,11 @@ should be nearly free:
   retry bookkeeping, deadline checks, sanitize on) versus a plain loop of
   :meth:`STMaker.summarize` calls over the same trajectories.
 
-The two configurations are interleaved round-by-round and the median of
-several rounds is reported, so scheduler noise does not masquerade as
-resilience overhead.  Results are written to ``BENCH_resilience.json`` at
-the repository root.
+Timing goes through :mod:`harness` (``measure_interleaved``): the
+configurations run round-robin and the median of several rounds is
+reported, so scheduler noise does not masquerade as resilience overhead.
+Results are written to ``BENCH_resilience.json`` at the repository root
+and the run is appended to ``BENCH_history.jsonl``.
 
 Usage::
 
@@ -23,18 +24,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import statistics
-import time
 from pathlib import Path
 
+import harness
 from repro.simulate import CityScenario, ScenarioConfig
 from repro.trajectory import sanitize_trajectory
-
-
-def _time_ms(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return (time.perf_counter() - start) * 1000.0
 
 
 def run(rounds: int, n_trips: int) -> dict:
@@ -47,31 +41,34 @@ def run(rounds: int, n_trips: int) -> dict:
         for i in range(n_trips)
     ]
 
-    # Warm-up: fault in caches on both paths.
-    stmaker.summarize_many(trips[:5], k=2)
-    for raw in trips[:5]:
-        stmaker.summarize(raw, k=2)
+    def loop_summarize() -> int:
+        for raw in trips:
+            stmaker.summarize(raw, k=2)
+        return len(trips)
 
-    loop_ms: list[float] = []
-    batch_ms: list[float] = []
-    sanitize_us: list[float] = []
-    for _ in range(rounds):
-        loop_ms.append(
-            _time_ms(lambda: [stmaker.summarize(raw, k=2) for raw in trips])
-            / len(trips)
-        )
-        batch_ms.append(
-            _time_ms(lambda: stmaker.summarize_many(trips, k=2)) / len(trips)
-        )
-        sanitize_us.append(
-            _time_ms(lambda: [sanitize_trajectory(raw) for raw in trips])
-            / len(trips)
-            * 1000.0
-        )
+    def batch_summarize_many() -> int:
+        stmaker.summarize_many(trips, k=2)
+        return len(trips)
 
-    loop = statistics.median(loop_ms)
-    batch = statistics.median(batch_ms)
-    sanitize = statistics.median(sanitize_us)
+    def sanitize_clean() -> int:
+        for raw in trips:
+            sanitize_trajectory(raw)
+        return len(trips)
+
+    # Interleaved rounds; the harness warmup faults in caches on all paths.
+    stats = harness.measure_interleaved(
+        {
+            "resilience.loop_summarize_ms": loop_summarize,
+            "resilience.batch_summarize_many_ms": batch_summarize_many,
+            "resilience.sanitize_clean_ms": sanitize_clean,
+        },
+        repeats=rounds, warmup=1,
+    )
+    harness.append_history(stats, mode="resilience_baseline")
+
+    loop = stats["resilience.loop_summarize_ms"]
+    batch = stats["resilience.batch_summarize_many_ms"]
+    sanitize = stats["resilience.sanitize_clean_ms"]
     return {
         "benchmark": (
             "summarize loop vs summarize_many (mean ms per trajectory), "
@@ -79,10 +76,18 @@ def run(rounds: int, n_trips: int) -> dict:
         ),
         "rounds": rounds,
         "n_trips": n_trips,
-        "loop_summarize_ms": {"median": loop, "rounds": loop_ms},
-        "batch_summarize_many_ms": {"median": batch, "rounds": batch_ms},
-        "batch_overhead_pct": 100.0 * (batch - loop) / loop,
-        "sanitize_clean_us": {"median": sanitize, "rounds": sanitize_us},
+        "loop_summarize_ms": {
+            "median": loop.median_ms, "rounds": list(loop.samples_ms),
+        },
+        "batch_summarize_many_ms": {
+            "median": batch.median_ms, "rounds": list(batch.samples_ms),
+        },
+        "batch_overhead_pct": 100.0
+        * (batch.median_ms - loop.median_ms) / loop.median_ms,
+        "sanitize_clean_us": {
+            "median": sanitize.median_ms * 1000.0,
+            "rounds": [s * 1000.0 for s in sanitize.samples_ms],
+        },
         "note": (
             "summarize_many runs with sanitize=True, so its overhead column "
             "already includes the sanitizer pass; 'sanitize_clean_us' is the "

@@ -6,14 +6,22 @@ prints its summaries at several granularities (the Fig. 6 experience);
 recorded inside the synthetic city (with ``--sanitize``/``--strict``/
 ``--max-retries``/``--deadline`` resilience controls — see
 ``docs/ROBUSTNESS.md``); ``stmaker experiment`` regenerates any of the
-paper's evaluation figures from the command line.
+paper's evaluation figures from the command line; ``stmaker report``
+summarizes a batch of simulated trips and writes a joined
+:class:`~repro.obs.RunReport` artifact (JSON + Markdown).
 
 Every subcommand also takes the observability flags:
 
 * ``-v``/``-vv`` — diagnostic logging to stderr (INFO / DEBUG);
 * ``--trace`` — trace the pipeline and dump the span tree as JSON
   (stderr, or ``--trace-out FILE``);
+* ``--trace-chrome FILE`` — write the trace as Chrome trace-event JSON
+  (load it in Perfetto / ``chrome://tracing``; implies ``--trace``);
 * ``--metrics-out FILE`` — write the metrics snapshot as JSON;
+* ``--metrics-prom FILE`` — write the metrics in Prometheus text
+  exposition format;
+* ``--events-out FILE`` — stream pipeline events (stage start/end,
+  degradation, retry, quarantine, sanitization, progress) as JSONL;
 * ``--profile`` — print a cProfile report of the command to stderr.
 
 Primary command output (summary text, experiment tables) stays on stdout;
@@ -73,6 +81,28 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer():
+    """A ``summarize_many`` progress callback writing one line per item."""
+
+    def callback(snapshot) -> None:
+        print(f"progress: {snapshot.describe()}", file=sys.stderr)
+
+    return callback
+
+
+def _write_run_report(args: argparse.Namespace, summaries=(), batches=()) -> None:
+    from repro import obs
+
+    report = obs.build_run_report(
+        summaries,
+        batches=batches,
+        registry=obs.metrics(),
+        collector=obs.get_collector(),
+    )
+    json_path, md_path = report.write(args.report_out)
+    logger.info("run report written to %s and %s", json_path, md_path)
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     from repro.exceptions import SummarizationError
     from repro.resilience import RetryPolicy
@@ -97,12 +127,17 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         summary = stmaker.summarize(
             trajectory, k=args.k, strict=True, sanitize=args.sanitize
         )
+        if args.report_out:
+            _write_run_report(args, summaries=[summary])
     else:
         result = stmaker.summarize_many(
             [trajectory], k=args.k, sanitize=args.sanitize,
             retry=RetryPolicy(max_retries=args.max_retries),
             deadline_s=args.deadline,
+            progress=_progress_printer() if args.progress else None,
         )
+        if args.report_out:
+            _write_run_report(args, batches=[result])
         if result.quarantined:
             entry = result.quarantined[0]
             raise SummarizationError(
@@ -118,6 +153,33 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
                 ", ".join(summary.degradation.stages()),
             )
     print(summary.text)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    scenario = _build_scenario(args.seed, args.training)
+    trips = [
+        scenario.simulate_trip(depart_time=(8.0 + 0.2 * i) * 3600.0).raw
+        for i in range(args.trips)
+    ]
+    # The report joins metrics and traces, so both sinks must be live even
+    # when the user did not pass --trace/--metrics-out (main() enabled them
+    # in that case; these calls then reuse the active sinks).
+    registry = obs.enable_metrics()
+    collector = obs.get_collector() or obs.enable_tracing()
+    logger.info("summarizing %d simulated trips ...", len(trips))
+    result = scenario.stmaker.summarize_many(
+        trips, k=args.k,
+        progress=_progress_printer() if args.progress else None,
+    )
+    report = obs.build_run_report(
+        batches=[result], registry=registry, collector=collector
+    )
+    json_path, md_path = report.write(args.out)
+    print(report.to_markdown(), end="")
+    print(f"\nrun report written to {json_path} and {md_path}", file=sys.stderr)
     return 0
 
 
@@ -201,8 +263,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON trace dump to FILE instead of stderr (implies --trace)",
     )
     group.add_argument(
+        "--trace-chrome", metavar="FILE", default=None,
+        help="write the trace as Chrome trace-event JSON to FILE "
+        "(Perfetto-loadable; implies --trace)",
+    )
+    group.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write the metrics snapshot as JSON to FILE",
+    )
+    group.add_argument(
+        "--metrics-prom", metavar="FILE", default=None,
+        help="write the metrics in Prometheus text exposition format to FILE",
+    )
+    group.add_argument(
+        "--events-out", metavar="FILE", default=None,
+        help="stream pipeline events (stage/degradation/retry/quarantine/"
+        "sanitization/progress) as JSONL to FILE",
     )
     group.add_argument(
         "--profile", action="store_true",
@@ -255,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget; the trajectory is quarantined when exceeded",
     )
+    summ.add_argument(
+        "--progress", action="store_true",
+        help="print live progress/throughput lines to stderr",
+    )
+    summ.add_argument(
+        "--report-out", metavar="PREFIX", default=None,
+        help="write a run report to PREFIX.json and PREFIX.md",
+    )
     summ.set_defaults(func=_cmd_summarize)
 
     expe = sub.add_parser(
@@ -267,6 +351,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     expe.add_argument("--size", type=int, default=50, help="workload size")
     expe.set_defaults(func=_cmd_experiment)
+
+    rep = sub.add_parser(
+        "report", parents=[obs_flags],
+        help="summarize a batch of simulated trips and write a run report",
+    )
+    rep.add_argument("--trips", type=int, default=20, help="batch size")
+    rep.add_argument("-k", type=int, default=None, help="partition count")
+    rep.add_argument(
+        "--out", metavar="PREFIX", default="run-report",
+        help="artifact prefix: writes PREFIX.json and PREFIX.md "
+        "(default: run-report)",
+    )
+    rep.add_argument(
+        "--progress", action="store_true",
+        help="print live progress/throughput lines to stderr",
+    )
+    rep.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -278,11 +379,27 @@ def main(argv: list[str] | None = None) -> int:
     obs.configure_logging(getattr(args, "verbose", 0))
 
     trace_out = getattr(args, "trace_out", None)
-    want_trace = getattr(args, "trace", False) or trace_out is not None
+    trace_chrome = getattr(args, "trace_chrome", None)
+    want_trace = (
+        getattr(args, "trace", False)
+        or trace_out is not None
+        or trace_chrome is not None
+    )
     metrics_out = getattr(args, "metrics_out", None)
+    metrics_prom = getattr(args, "metrics_prom", None)
+    events_out = getattr(args, "events_out", None)
+    report_out = getattr(args, "report_out", None)
     collector = obs.enable_tracing() if want_trace else None
-    if want_trace or metrics_out:
+    if want_trace or metrics_out or metrics_prom or report_out:
         obs.enable_metrics()
+    if report_out and collector is None:
+        # A run report joins stage times from the trace, so --report-out
+        # turns tracing on even without an explicit --trace (no dump).
+        obs.enable_tracing()
+    event_sink = None
+    if events_out:
+        event_sink = obs.JsonlEventSink(events_out)
+        obs.enable_events().subscribe(event_sink)
     profile_cm = (
         obs.profiled(limit=25)
         if getattr(args, "profile", False)
@@ -307,16 +424,39 @@ def main(argv: list[str] | None = None) -> int:
                     logger.info("trace written to %s", trace_out)
                 except OSError as exc:
                     print(f"error: cannot write trace: {exc}", file=sys.stderr)
-            else:
+            elif not trace_chrome:
                 print(collector.to_json(), file=sys.stderr)
-        if metrics_out:
-            registry = obs.metrics()
-            if isinstance(registry, obs.MetricsRegistry):
+            if trace_chrome:
+                try:
+                    obs.write_chrome_trace(collector, trace_chrome)
+                    logger.info("chrome trace written to %s", trace_chrome)
+                except OSError as exc:
+                    print(
+                        f"error: cannot write chrome trace: {exc}", file=sys.stderr
+                    )
+        registry = obs.metrics()
+        if isinstance(registry, obs.MetricsRegistry):
+            if metrics_out:
                 try:
                     registry.export(metrics_out)
                     logger.info("metrics snapshot written to %s", metrics_out)
                 except OSError as exc:
                     print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            if metrics_prom:
+                try:
+                    obs.write_prometheus(registry, metrics_prom)
+                    logger.info("prometheus metrics written to %s", metrics_prom)
+                except OSError as exc:
+                    print(
+                        f"error: cannot write prometheus metrics: {exc}",
+                        file=sys.stderr,
+                    )
+        if event_sink is not None:
+            event_sink.close()
+            logger.info(
+                "%d events written to %s", event_sink.written, events_out
+            )
+        obs.disable_events()
         obs.disable_tracing()
         obs.disable_metrics()
 

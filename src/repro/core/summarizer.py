@@ -50,8 +50,9 @@ from repro.features import (
     normalized_vectors,
 )
 from repro.landmarks import LandmarkIndex
-from repro.obs import metrics, span, timed_span
+from repro.obs import emit_event, metrics, span, stage_scope, timed_span
 from repro.resilience import (
+    BatchProgress,
     BatchResult,
     Deadline,
     DegradationEvent,
@@ -217,7 +218,7 @@ class STMaker:
         """
         with timed_span(
             "summarize", trajectory_id=raw.trajectory_id, k=k
-        ) as timer:
+        ) as timer, stage_scope("summarize", raw.trajectory_id):
             report = DegradationReport()
             if sanitize:
                 raw, cleaned = sanitize_trajectory(raw, sanitizer_config)
@@ -226,9 +227,14 @@ class STMaker:
                         "sanitize", "cleaned_input",
                         f"repaired input: {cleaned!r}",
                     ))
+                    emit_event(
+                        "sanitization", "sanitize", raw.trajectory_id,
+                        dropped=cleaned.dropped_total, reordered=cleaned.reordered,
+                    )
             if strict:
-                self._inject("calibrate")
-                symbolic = self.calibrator.calibrate(raw)
+                with stage_scope("calibrate", raw.trajectory_id):
+                    self._inject("calibrate")
+                    symbolic = self.calibrator.calibrate(raw)
                 summary = self.summarize_calibrated(raw, symbolic, k=k)
             else:
                 summary = self._summarize_graceful(raw, k, report)
@@ -253,8 +259,9 @@ class STMaker:
         This is the strict (raise-on-error) pipeline core; the graceful
         path wraps the same stages with their fallbacks.
         """
-        self._inject("extract")
-        segment_features = self.pipeline.extract(raw, symbolic)
+        with stage_scope("extract", raw.trajectory_id):
+            self._inject("extract")
+            segment_features = self.pipeline.extract(raw, symbolic)
         spans = self.partition(symbolic, segment_features, k=k)
         partitions = []
         for i, part_span in enumerate(spans):
@@ -276,6 +283,7 @@ class STMaker:
         retry: RetryPolicy | None = None,
         deadline_s: float | None = None,
         sleeper: Callable[[float], None] = time.sleep,
+        progress: Callable[[BatchProgress], None] | None = None,
     ) -> BatchResult:
         """Summarize a batch with per-item error isolation.
 
@@ -287,6 +295,11 @@ class STMaker:
         so one malformed trajectory cannot take down the batch.  With
         ``strict=True`` the first error raises instead (and no fallbacks
         run inside the items either).
+
+        A ``progress`` callback receives a :class:`BatchProgress` snapshot
+        after every item; the live rate and ETA are also mirrored into the
+        ``resilience.batch.items_per_s`` / ``.eta_s`` gauges and onto the
+        event stream.
         """
         items = list(trajectories)
         retry = retry or RetryPolicy()
@@ -294,6 +307,29 @@ class STMaker:
         result = BatchResult()
         m = metrics()
         m.counter("resilience.batch.calls").inc()
+        emit_event("batch_start", items=len(items), k=k)
+        started = time.perf_counter()
+        retries_seen = 0
+
+        def note_progress(done: int) -> None:
+            elapsed = time.perf_counter() - started
+            rate = done / elapsed if elapsed > 0.0 else 0.0
+            eta = (len(items) - done) / rate if rate > 0.0 else None
+            m.gauge("resilience.batch.items_per_s").set(rate)
+            if eta is not None:
+                m.gauge("resilience.batch.eta_s").set(eta)
+            snapshot = BatchProgress(
+                done, len(items), result.ok_count, result.quarantined_count,
+                retries_seen, elapsed, rate, eta,
+            )
+            emit_event(
+                "progress", done=done, total=len(items), ok=result.ok_count,
+                quarantined=result.quarantined_count, items_per_s=rate,
+                eta_s=eta,
+            )
+            if progress is not None:
+                progress(snapshot)
+
         with span("summarize_many", items=len(items), k=k) as sp:
             for index, raw in enumerate(items):
                 m.counter("resilience.batch.items").inc()
@@ -305,12 +341,23 @@ class STMaker:
                         f"before item {index}", 0,
                     ))
                     m.counter("resilience.batch.quarantined").inc()
+                    emit_event(
+                        "quarantine", trajectory_id=raw.trajectory_id,
+                        index=index, error_type="DeadlineExceeded", attempts=0,
+                    )
+                    note_progress(index + 1)
                     continue
                 attempts = 0
                 try:
                     if sanitize:
                         raw, cleaned = sanitize_trajectory(raw, sanitizer_config)
                         result.sanitization.append(cleaned)
+                        if not cleaned.clean:
+                            emit_event(
+                                "sanitization", "sanitize", raw.trajectory_id,
+                                dropped=cleaned.dropped_total,
+                                reordered=cleaned.reordered,
+                            )
                     else:
                         result.sanitization.append(None)
                     while True:
@@ -321,13 +368,19 @@ class STMaker:
                             )
                             m.counter("resilience.batch.ok").inc()
                             break
-                        except TransientError:
+                        except TransientError as exc:
                             if attempts > retry.max_retries:
                                 raise
                             delay = retry.delay_s(attempts)
                             if delay >= deadline.remaining_s():
                                 raise  # backing off would blow the budget
                             m.counter("resilience.batch.retries").inc()
+                            retries_seen += 1
+                            emit_event(
+                                "retry", trajectory_id=raw.trajectory_id,
+                                attempt=attempts, delay_s=delay,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
                             if delay > 0.0:
                                 sleeper(delay)
                 except ReproError as exc:
@@ -340,8 +393,19 @@ class STMaker:
                         str(exc), attempts,
                     ))
                     m.counter("resilience.batch.quarantined").inc()
+                    emit_event(
+                        "quarantine", trajectory_id=raw.trajectory_id,
+                        index=index, error_type=type(exc).__name__,
+                        attempts=attempts,
+                    )
+                note_progress(index + 1)
             sp.set_tag("ok", result.ok_count)
             sp.set_tag("quarantined", result.quarantined_count)
+        emit_event(
+            "batch_end", ok=result.ok_count,
+            quarantined=result.quarantined_count,
+            duration_ms=(time.perf_counter() - started) * 1000.0,
+        )
         return result
 
     def partition(
@@ -351,6 +415,15 @@ class STMaker:
         k: int | None = None,
     ) -> list[PartitionSpan]:
         """The partition step alone (useful for analysis and tests)."""
+        with stage_scope("partition", symbolic.trajectory_id):
+            return self._partition_inner(symbolic, segment_features, k)
+
+    def _partition_inner(
+        self,
+        symbolic: SymbolicTrajectory,
+        segment_features: list[SegmentFeatures],
+        k: int | None,
+    ) -> list[PartitionSpan]:
         self._inject("partition")
         n_segments = len(segment_features)
         if n_segments != symbolic.segment_count:
@@ -385,8 +458,9 @@ class STMaker:
         permanently lose summary quality; ``summarize_many`` retries them.
         """
         try:
-            self._inject("calibrate")
-            symbolic = self.calibrator.calibrate(raw)
+            with stage_scope("calibrate", raw.trajectory_id):
+                self._inject("calibrate")
+                symbolic = self.calibrator.calibrate(raw)
         except TransientError:
             raise
         except ReproError as exc:
@@ -395,8 +469,9 @@ class STMaker:
 
         include_routing = True
         try:
-            self._inject("extract")
-            segment_features = self.pipeline.extract(raw, symbolic)
+            with stage_scope("extract", raw.trajectory_id):
+                self._inject("extract")
+                segment_features = self.pipeline.extract(raw, symbolic)
         except TransientError:
             raise
         except ReproError as exc:
@@ -432,11 +507,12 @@ class STMaker:
         report: DegradationReport,
     ) -> PartitionSummary:
         try:
-            self._inject("select")
-            assessment = self.selector.assess(
-                symbolic, segment_features, part_span,
-                include_routing=include_routing,
-            )
+            with stage_scope("select", symbolic.trajectory_id):
+                self._inject("select")
+                assessment = self.selector.assess(
+                    symbolic, segment_features, part_span,
+                    include_routing=include_routing,
+                )
         except TransientError:
             raise
         except ReproError as exc:
@@ -450,11 +526,12 @@ class STMaker:
             symbolic[part_span.end_landmark_index].landmark, "destination"
         )
         try:
-            self._inject("realize")
-            with span("realize", selected=len(assessment.selected)):
-                sentence = partition_sentence(
-                    source, destination, assessment.selected, self.registry, is_first
-                )
+            with stage_scope("realize", symbolic.trajectory_id):
+                self._inject("realize")
+                with span("realize", selected=len(assessment.selected)):
+                    sentence = partition_sentence(
+                        source, destination, assessment.selected, self.registry, is_first
+                    )
         except TransientError:
             raise
         except ReproError as exc:
@@ -543,6 +620,10 @@ class STMaker:
         report.add(DegradationEvent(
             stage, fallback, f"{type(exc).__name__}: {exc}"
         ))
+        emit_event(
+            "degradation", stage,
+            fallback=fallback, reason=f"{type(exc).__name__}: {exc}",
+        )
         m = metrics()
         m.counter(f"resilience.fallback.{stage}").inc()
         m.counter("resilience.fallbacks").inc()
@@ -556,19 +637,21 @@ class STMaker:
         part_span: PartitionSpan,
         is_first: bool,
     ) -> PartitionSummary:
-        self._inject("select")
-        assessment = self.selector.assess(symbolic, segment_features, part_span)
-        self._inject("realize")
-        with span("realize", selected=len(assessment.selected)):
-            source = self.landmarks.get(
-                symbolic[part_span.start_landmark_index].landmark
-            ).name
-            destination = self.landmarks.get(
-                symbolic[part_span.end_landmark_index].landmark
-            ).name
-            sentence = partition_sentence(
-                source, destination, assessment.selected, self.registry, is_first
-            )
+        with stage_scope("select", symbolic.trajectory_id):
+            self._inject("select")
+            assessment = self.selector.assess(symbolic, segment_features, part_span)
+        with stage_scope("realize", symbolic.trajectory_id):
+            self._inject("realize")
+            with span("realize", selected=len(assessment.selected)):
+                source = self.landmarks.get(
+                    symbolic[part_span.start_landmark_index].landmark
+                ).name
+                destination = self.landmarks.get(
+                    symbolic[part_span.end_landmark_index].landmark
+                ).name
+                sentence = partition_sentence(
+                    source, destination, assessment.selected, self.registry, is_first
+                )
         metrics().counter("realize.sentences").inc()
         return PartitionSummary(
             part_span, source, destination,

@@ -19,6 +19,27 @@ See ``docs/OBSERVABILITY.md`` for the span/metric naming conventions and
 the catalogue the pipeline emits.
 """
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventBus,
+    EventLog,
+    JsonlEventSink,
+    PipelineEvent,
+    disable_events,
+    emit_event,
+    enable_events,
+    events,
+    events_enabled,
+    stage_scope,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_name,
+    render_prometheus,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_prometheus,
+)
 from repro.obs.logconfig import configure_logging
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -34,6 +55,7 @@ from repro.obs.metrics import (
     metrics_enabled,
 )
 from repro.obs.profile import ProfileReport, profiled
+from repro.obs.report import RunReport, build_run_report, environment_fingerprint
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -75,6 +97,29 @@ __all__ = [
     "Histogram",
     "DEFAULT_BUCKETS",
     "NULL_METRICS",
+    # exporters
+    "render_prometheus",
+    "write_prometheus",
+    "prometheus_name",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    # events
+    "EVENT_KINDS",
+    "PipelineEvent",
+    "EventBus",
+    "EventLog",
+    "JsonlEventSink",
+    "events",
+    "enable_events",
+    "disable_events",
+    "events_enabled",
+    "emit_event",
+    "stage_scope",
+    # run reports
+    "RunReport",
+    "build_run_report",
+    "environment_fingerprint",
     # profiling / logging
     "profiled",
     "ProfileReport",

@@ -1,0 +1,163 @@
+"""Standard-format exporters for the observability layer.
+
+Two interchange formats, both zero-dependency:
+
+* :func:`render_prometheus` — the Prometheus/OpenMetrics *text exposition
+  format* for a :class:`~repro.obs.metrics.MetricsRegistry` snapshot, so a
+  scrape endpoint (or a file-based textfile collector) can ingest the
+  pipeline's counters, gauges, and histograms without translation.
+* :func:`to_chrome_trace` — Chrome *trace-event JSON* for the spans of a
+  :class:`~repro.obs.trace.TraceCollector`.  The output loads directly in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` and renders
+  the pipeline's nested stages as a flame chart, one track per thread.
+
+Both have ``write_*`` companions used by the CLI (``--metrics-prom``,
+``--trace-chrome``) and by :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.trace import TraceCollector
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: pid used for every trace event — the trace is single-process by design.
+_TRACE_PID = 1
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a series name to the Prometheus grammar.
+
+    Dots (our namespace separator) and any other invalid character become
+    underscores; a leading digit gets a guard underscore.
+    """
+    out = _INVALID_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry | NullMetrics) -> str:
+    """The registry snapshot in Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le="..."}`` series (our per-bucket counts are
+    disjoint, so they are accumulated here) plus ``_sum`` and ``_count``.
+    Ends with a trailing newline, as the format requires.
+    """
+    lines: list[str] = []
+    for name, data in registry.snapshot().items():
+        pname = prometheus_name(name)
+        kind = data["type"]
+        if kind == "counter":
+            lines.append(f"# HELP {pname}_total {name}")
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {_format_value(data['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {pname} {name}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_format_value(data['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {pname} {name}")
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for label, count in data["buckets"].items():
+                cumulative += count
+                le = "+Inf" if label == "+inf" else label
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{pname}_sum {_format_value(data['sum'])}")
+            lines.append(f"{pname}_count {data['count']}")
+        else:  # pragma: no cover - registry only produces the three kinds
+            raise ValueError(f"unknown metric type {kind!r} for series {name!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry | NullMetrics, path) -> None:
+    """Write the text exposition to *path* (textfile-collector style)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_prometheus(registry))
+
+
+def chrome_trace_events(collector: TraceCollector) -> list[dict[str, object]]:
+    """The collector's spans as a Chrome trace-event list.
+
+    Each finished span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur`` on the span's own perf-counter timeline;
+    span id, parent id, status, and tags ride along in ``args``.  Threads
+    are renumbered 0..n in order of first appearance and announced with
+    ``thread_name`` metadata events so the viewer labels the tracks.
+    """
+    spans = collector.spans()
+    tid_map: dict[int, int] = {}
+    events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": "stmaker"},
+        }
+    ]
+    for record in spans:
+        if record.thread_id not in tid_map:
+            tid = len(tid_map)
+            tid_map[record.thread_id] = tid
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": f"thread-{tid}"},
+            })
+        args: dict[str, object] = {
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "status": record.status,
+        }
+        if record.error is not None:
+            args["error"] = record.error
+        args.update(record.tags)
+        events.append({
+            "name": record.name,
+            "cat": "pipeline",
+            "ph": "X",
+            "ts": record.start_s * 1e6,
+            "dur": record.duration_ms * 1e3,
+            "pid": _TRACE_PID,
+            "tid": tid_map[record.thread_id],
+            "args": args,
+        })
+    return events
+
+
+def to_chrome_trace(collector: TraceCollector) -> dict[str, object]:
+    """The full trace-event JSON object (``{"traceEvents": [...], ...}``)."""
+    return {
+        "traceEvents": chrome_trace_events(collector),
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped": collector.dropped},
+    }
+
+
+def write_chrome_trace(collector: TraceCollector, path) -> None:
+    """Write a Perfetto-loadable trace JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(collector), fh, indent=2, default=str)

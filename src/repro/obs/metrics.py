@@ -129,6 +129,40 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the *q*-quantile (``0.0 <= q <= 1.0``) from the buckets.
+
+        Uses linear interpolation inside the bucket holding the target rank
+        (the ``histogram_quantile`` estimator), clamped to the observed
+        ``[min, max]`` — so a single observation reports itself exactly and
+        the ``+inf`` bucket never produces an infinite estimate.  Returns
+        ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            count = self.count
+            counts = list(self._counts)
+            lo, hi = self.min, self.max
+        if count == 0:
+            return None
+        if q == 0.0:
+            return lo
+        rank = q * count
+        cumulative = 0.0
+        lower = 0.0
+        for bound, in_bucket in zip(self.buckets, counts):
+            before = cumulative
+            cumulative += in_bucket
+            if in_bucket and cumulative >= rank:
+                if bound == math.inf:
+                    return hi
+                estimate = lower + (bound - lower) * (rank - before) / in_bucket
+                return min(max(estimate, lo), hi)
+            if bound != math.inf:
+                lower = bound
+        return hi  # pragma: no cover - rank <= count always hits a bucket
+
     def bucket_counts(self) -> dict[str, int]:
         return {
             ("+inf" if bound == math.inf else f"{bound:g}"): count
@@ -143,6 +177,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
             "buckets": self.bucket_counts(),
         }
 
@@ -213,9 +250,14 @@ class MetricsRegistry:
         lines = []
         for name, data in self.snapshot().items():
             if data["type"] == "histogram":
+                quantiles = " ".join(
+                    f"{key}={data[key]:.3f}" if data[key] is not None else f"{key}=-"
+                    for key in ("p50", "p95", "p99")
+                )
                 lines.append(
                     f"{name:<40} histogram  count={data['count']:<8g} "
-                    f"mean={data['mean']:<10.3f} min={data['min']} max={data['max']}"
+                    f"mean={data['mean']:<10.3f} {quantiles} "
+                    f"min={data['min']} max={data['max']}"
                 )
             else:
                 lines.append(f"{name:<40} {data['type']:<9}  value={data['value']:g}")

@@ -48,6 +48,9 @@ class SpanRecord:
     error: str | None
     depth: int
     tags: dict[str, object] = field(default_factory=dict)
+    #: ``threading.get_ident()`` of the recording thread — lets exporters
+    #: keep concurrent spans on separate tracks instead of false-nesting.
+    thread_id: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -60,6 +63,7 @@ class SpanRecord:
             "error": self.error,
             "depth": self.depth,
             "tags": dict(self.tags),
+            "thread_id": self.thread_id,
         }
 
 
@@ -217,6 +221,7 @@ class Span:
             SpanRecord(
                 self.span_id, self.parent_id, self.name, self._start,
                 self.duration_ms, self.status, self.error, self.depth, self.tags,
+                threading.get_ident(),
             )
         )
         return False  # never swallow the exception

@@ -17,7 +17,7 @@ degradation ladder itself is implemented in :mod:`repro.core.summarizer`.
 See ``docs/ROBUSTNESS.md`` for the guided tour.
 """
 
-from repro.resilience.batch import BatchResult, QuarantineEntry
+from repro.resilience.batch import BatchProgress, BatchResult, QuarantineEntry
 from repro.resilience.degradation import STAGES, DegradationEvent, DegradationReport
 from repro.resilience.faultinject import FaultInjector, FaultSpec, InjectedFault
 from repro.resilience.policy import Deadline, RetryPolicy
@@ -28,6 +28,7 @@ __all__ = [
     "DegradationReport",
     "RetryPolicy",
     "Deadline",
+    "BatchProgress",
     "BatchResult",
     "QuarantineEntry",
     "FaultInjector",

@@ -40,6 +40,42 @@ class QuarantineEntry:
         }
 
 
+@dataclass(frozen=True, slots=True)
+class BatchProgress:
+    """A live throughput snapshot, delivered after each batch item.
+
+    :meth:`repro.core.STMaker.summarize_many` hands one of these to its
+    ``progress`` callback (and mirrors the rate/ETA into the
+    ``resilience.batch.items_per_s`` / ``resilience.batch.eta_s`` gauges)
+    so long batches are observable while they run, not just afterwards.
+    """
+
+    #: Items finished so far (ok + quarantined), 1-based.
+    done: int
+    #: Total items in the batch.
+    total: int
+    ok: int
+    quarantined: int
+    retries: int
+    elapsed_s: float
+    items_per_s: float
+    #: Estimated seconds to completion (``None`` until the rate is known).
+    eta_s: float | None
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.done / self.total if self.total else 100.0
+
+    def describe(self) -> str:
+        """A one-line human-readable progress report."""
+        eta = f"eta {self.eta_s:.0f}s" if self.eta_s is not None else "eta -"
+        return (
+            f"{self.done}/{self.total} ({self.percent:.0f}%) "
+            f"ok={self.ok} quarantined={self.quarantined} retries={self.retries} "
+            f"{self.items_per_s:.1f} items/s {eta}"
+        )
+
+
 @dataclass(slots=True)
 class BatchResult:
     """Outcome of :meth:`repro.core.STMaker.summarize_many`."""

@@ -1,0 +1,180 @@
+"""Tests for the shared benchmark harness (benchmarks/harness.py).
+
+benchmarks/ is not a package, so the module is loaded straight from its
+file path — the same way the record_* scripts find it (script dir on
+``sys.path``).  The statistical core, history, and regression gate run on
+synthetic callables; nothing here builds a scenario.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_HARNESS_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "harness.py"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location("bench_harness", _HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_harness"] = module
+    spec.loader.exec_module(module)
+    try:
+        yield module
+    finally:
+        sys.modules.pop("bench_harness", None)
+
+
+class TestBenchStats:
+    def test_median_iqr_min_max(self, harness):
+        stats = harness.stats_from_samples(
+            "s", [5.0, 1.0, 3.0, 9.0, 7.0], warmup=1
+        )
+        assert stats.median_ms == 5.0
+        assert stats.min_ms == 1.0 and stats.max_ms == 9.0
+        assert stats.mean_ms == 5.0
+        assert stats.iqr_ms > 0.0
+        assert stats.repeats == 5
+
+    def test_single_sample_iqr_zero(self, harness):
+        stats = harness.stats_from_samples("s", [4.2])
+        assert stats.iqr_ms == 0.0 and stats.median_ms == 4.2
+
+    def test_empty_samples_raise(self, harness):
+        with pytest.raises(ValueError, match="no samples"):
+            harness.stats_from_samples("s", [])
+
+    def test_to_dict_keys(self, harness):
+        data = harness.stats_from_samples("s", [1.0, 2.0], warmup=3).to_dict()
+        assert set(data) == {
+            "repeats", "warmup", "median_ms", "iqr_ms", "min_ms",
+            "max_ms", "mean_ms", "samples_ms",
+        }
+        assert data["warmup"] == 3 and data["samples_ms"] == [1.0, 2.0]
+
+
+class TestMeasure:
+    def test_warmup_not_counted(self, harness):
+        calls = []
+        stats = harness.measure(
+            lambda: calls.append(1), name="m", repeats=4, warmup=2
+        )
+        assert len(calls) == 6
+        assert stats.repeats == 4 and stats.warmup == 2
+
+    def test_per_unit_division(self, harness):
+        # fn reports 10 units of work; per-item samples must be ~1/10 of
+        # the wall samples of an identical fn reporting 1 unit.
+        def busy():
+            sum(range(20_000))
+
+        def one_unit():
+            busy()
+            return 1
+
+        def ten_units():
+            busy()
+            return 10
+
+        wall = harness.measure(one_unit, name="w", repeats=5, warmup=1)
+        per_item = harness.measure(ten_units, name="p", repeats=5, warmup=1)
+        assert per_item.median_ms < wall.median_ms
+
+    def test_returned_sampling(self, harness):
+        samples = iter([7.0, 8.0, 9.0])
+        stats = harness.measure(
+            lambda: next(samples), name="r", repeats=3, warmup=0, sample="returned"
+        )
+        assert stats.samples_ms == (7.0, 8.0, 9.0)
+
+    def test_bad_repeats(self, harness):
+        with pytest.raises(ValueError, match="repeats"):
+            harness.measure(lambda: None, name="x", repeats=0)
+
+    def test_interleaved_shares_rounds(self, harness):
+        order = []
+        stats = harness.measure_interleaved(
+            {
+                "a": lambda: order.append("a"),
+                "b": lambda: order.append("b"),
+            },
+            repeats=3, warmup=1,
+        )
+        # warmup round + 3 measured rounds, strictly alternating
+        assert order == ["a", "b"] * 4
+        assert stats["a"].repeats == stats["b"].repeats == 3
+
+
+class TestHistory:
+    def test_append_history_jsonl(self, harness, tmp_path):
+        path = tmp_path / "history.jsonl"
+        results = {"x": harness.stats_from_samples("x", [1.0, 2.0])}
+        harness.append_history(results, path=path, mode="unit-test")
+        harness.append_history(
+            results, path=path, gate=[{"name": "x", "status": "ok"}],
+            extra={"tag": "second"},
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        first, second = lines
+        assert first["mode"] == "unit-test"
+        assert "gate" not in first
+        assert first["results"]["x"]["median_ms"] == 1.5
+        assert set(first["environment"]) >= {"python", "platform"}
+        assert second["gate"][0]["status"] == "ok"
+        assert second["tag"] == "second"
+
+
+class TestBaselineAndGate:
+    def test_baseline_roundtrip(self, harness, tmp_path):
+        path = tmp_path / "baseline.json"
+        assert harness.load_baseline(path) is None
+        results = {"x": harness.stats_from_samples("x", [2.0, 4.0, 6.0])}
+        written = harness.write_baseline(results, path=path, tolerance_pct=15.0)
+        loaded = harness.load_baseline(path)
+        assert loaded["medians_ms"] == {"x": 4.0}
+        assert loaded["tolerance_pct"] == 15.0
+        assert loaded == json.loads(json.dumps(written, default=str))
+
+    def _baseline(self, medians, tolerance=20.0):
+        return {"tolerance_pct": tolerance, "medians_ms": medians}
+
+    def test_within_tolerance_is_ok(self, harness):
+        results = {"x": harness.stats_from_samples("x", [11.0])}
+        [finding] = harness.check_regressions(results, self._baseline({"x": 10.0}))
+        assert finding["status"] == "ok"
+        assert finding["delta_pct"] == pytest.approx(10.0)
+
+    def test_beyond_tolerance_regresses(self, harness):
+        results = {"x": harness.stats_from_samples("x", [13.0])}
+        [finding] = harness.check_regressions(results, self._baseline({"x": 10.0}))
+        assert finding["status"] == "regressed"
+        assert finding["delta_pct"] == pytest.approx(30.0)
+
+    def test_faster_is_ok(self, harness):
+        results = {"x": harness.stats_from_samples("x", [1.0])}
+        [finding] = harness.check_regressions(results, self._baseline({"x": 10.0}))
+        assert finding["status"] == "ok"
+
+    def test_unknown_benchmark_is_new(self, harness):
+        results = {"y": harness.stats_from_samples("y", [1.0])}
+        [finding] = harness.check_regressions(results, self._baseline({"x": 10.0}))
+        assert finding["status"] == "new"
+        assert finding["baseline_ms"] is None
+
+    def test_no_baseline_all_new(self, harness):
+        results = {"x": harness.stats_from_samples("x", [1.0])}
+        [finding] = harness.check_regressions(results, None)
+        assert finding["status"] == "new"
+
+    def test_explicit_tolerance_overrides_baseline(self, harness):
+        results = {"x": harness.stats_from_samples("x", [11.0])}
+        [finding] = harness.check_regressions(
+            results, self._baseline({"x": 10.0}, tolerance=50.0), tolerance_pct=5.0
+        )
+        assert finding["status"] == "regressed"

@@ -183,3 +183,118 @@ class TestObservabilityFlags:
         assert args.verbose == 2
         args = build_parser().parse_args(["demo"])
         assert args.verbose == 0 and args.trace is False
+
+    def test_exporter_flags_parse(self):
+        args = build_parser().parse_args([
+            "summarize", "x.csv",
+            "--trace-chrome", "t.json", "--metrics-prom", "m.prom",
+            "--events-out", "e.jsonl", "--report-out", "run", "--progress",
+        ])
+        assert args.trace_chrome == "t.json"
+        assert args.metrics_prom == "m.prom"
+        assert args.events_out == "e.jsonl"
+        assert args.report_out == "run"
+        assert args.progress is True
+
+
+class TestExporters:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, path)
+        return path
+
+    def test_chrome_trace_and_prometheus_files(self, csv_path, tmp_path, capsys):
+        import json
+
+        chrome_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        code = main([
+            "--training", "40", "summarize", str(csv_path),
+            "--trace-chrome", str(chrome_path), "--metrics-prom", str(prom_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        trace = json.loads(chrome_path.read_text())
+        assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "summarize" in names
+        assert "{" not in captured.err  # no raw span dump when only --trace-chrome
+        prom = prom_path.read_text()
+        assert "summarize_calls_total 1" in prom
+        assert 'le="+Inf"' in prom
+
+    def test_events_out_jsonl(self, csv_path, tmp_path, capsys):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        code = main([
+            "--training", "40", "summarize", str(csv_path),
+            "--events-out", str(events_path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in events_path.read_text().splitlines()]
+        assert events
+        kinds = {e["kind"] for e in events}
+        assert {"batch_start", "stage_start", "stage_end", "batch_end"} <= kinds
+        from repro import obs
+
+        assert not obs.events_enabled()  # cleaned up after the run
+
+    def test_report_out_writes_pair(self, csv_path, tmp_path, capsys):
+        import json
+
+        prefix = tmp_path / "run-report"
+        code = main([
+            "--training", "40", "summarize", str(csv_path),
+            "--report-out", str(prefix),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "The car started from" in captured.out
+        report = json.loads((tmp_path / "run-report.json").read_text())
+        assert report["quality"]["summaries"] == 1
+        assert report["metrics"], "report embeds the metrics snapshot"
+        md = (tmp_path / "run-report.md").read_text()
+        assert md.startswith("# STMaker run report")
+
+    def test_progress_flag_prints_to_stderr(self, csv_path, capsys):
+        code = main([
+            "--training", "40", "summarize", str(csv_path), "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "progress:" in captured.err
+        assert "items/s" in captured.err
+
+
+class TestReportCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.trips == 20
+        assert args.out == "run-report"
+        assert args.progress is False
+
+    def test_report_command_end_to_end(self, tmp_path, capsys):
+        import json
+
+        prefix = tmp_path / "rr"
+        code = main([
+            "--training", "40", "report", "--trips", "3",
+            "--out", str(prefix), "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# STMaker run report" in captured.out
+        assert "progress:" in captured.err
+        report = json.loads((tmp_path / "rr.json").read_text())
+        assert report["quality"]["summaries"] == 3
+        assert report["stages"], "report command runs with tracing enabled"
+        stage_names = {s["name"] for s in report["stages"]}
+        assert "summarize_many" in stage_names
+        from repro import obs
+
+        assert not obs.metrics_enabled() and not obs.tracing_enabled()

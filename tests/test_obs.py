@@ -275,6 +275,71 @@ class TestHistogram:
         assert h.count == 1
 
 
+class TestHistogramPercentiles:
+    def test_empty_histogram_is_none(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("p", buckets=(1.0, 10.0))
+        assert h.percentile(0.5) is None
+        data = h.to_dict()
+        assert data["p50"] is None and data["p95"] is None and data["p99"] is None
+
+    def test_single_observation_is_exact(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("one", buckets=(1.0, 10.0))
+        h.observe(3.7)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.percentile(q) == 3.7
+
+    def test_quantile_ordering_and_range(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("many", buckets=(1.0, 2.0, 5.0, 10.0, 50.0))
+        values = [0.5, 1.5, 1.8, 3.0, 4.0, 6.0, 8.0, 9.5, 20.0, 45.0]
+        for v in values:
+            h.observe(v)
+        p50, p95, p99 = h.percentile(0.5), h.percentile(0.95), h.percentile(0.99)
+        assert min(values) <= p50 <= p95 <= p99 <= max(values)
+        # p50 of 10 values must land in the middle buckets, not the tails.
+        assert 1.5 <= p50 <= 8.0
+
+    def test_percentiles_clamped_to_observed_extremes(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("clamp", buckets=(100.0,))
+        h.observe(2.0)
+        h.observe(3.0)
+        # Interpolation inside the huge (0, 100] bucket must not report
+        # values outside what was actually observed.
+        assert 2.0 <= h.percentile(0.5) <= 3.0
+        assert h.percentile(1.0) == 3.0
+        assert h.percentile(0.0) == 2.0
+
+    def test_overflow_bucket_reports_max(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("ovf", buckets=(1.0,))
+        for v in (0.5, 100.0, 200.0):
+            h.observe(v)
+        assert h.percentile(0.99) == 200.0
+
+    def test_invalid_q_raises(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("bad", buckets=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(1.1)
+
+    def test_to_dict_and_render_include_percentiles(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 8.0):
+            h.observe(v)
+        data = h.to_dict()
+        assert data["p50"] is not None
+        assert data["p50"] <= data["p95"] <= data["p99"]
+        rendered = registry.render_text()
+        assert "p50=" in rendered and "p95=" in rendered and "p99=" in rendered
+
+
 class TestRegistryLifecycle:
     def test_disabled_is_null_singleton(self):
         assert obs.metrics() is NULL_METRICS

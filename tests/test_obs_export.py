@@ -1,0 +1,233 @@
+"""Tests for the standard exporters (repro.obs.export): Prometheus text
+exposition and Chrome trace-event JSON, including concurrent collection."""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.export import prometheus_name
+
+#: One sample line of the exposition format: a metric name, an optional
+#: label set, and a value parseable as a (possibly signed/inf/nan) float.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? \S+$"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable_tracing()
+    obs.disable_metrics()
+    yield
+    obs.disable_tracing()
+    obs.disable_metrics()
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("summarize.latency_ms") == "summarize_latency_ms"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("5xx.count")[0] == "_"
+
+    def test_valid_names_untouched(self):
+        assert prometheus_name("already_valid:name") == "already_valid:name"
+
+
+class TestPrometheusExposition:
+    def test_empty_registry_renders_empty(self):
+        registry = obs.enable_metrics()
+        assert obs.render_prometheus(registry) == ""
+
+    def test_every_line_parses(self):
+        registry = obs.enable_metrics()
+        registry.counter("summarize.calls").inc(3)
+        registry.gauge("pool.size").set(7.5)
+        h = registry.histogram("summarize.latency_ms", buckets=(1.0, 5.0, 10.0))
+        for v in (0.4, 2.0, 7.0, 50.0):
+            h.observe(v)
+        text = obs.render_prometheus(registry)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line, "no blank lines in the exposition"
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+            _parse_value(line.rsplit(" ", 1)[1])  # must not raise
+
+    def test_counter_total_suffix_and_value(self):
+        registry = obs.enable_metrics()
+        registry.counter("a.calls").inc(3)
+        text = obs.render_prometheus(registry)
+        assert "# TYPE a_calls_total counter" in text
+        assert "\na_calls_total 3\n" in text
+
+    def test_histogram_buckets_cumulative(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("lat.ms", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 2.0, 2.5, 7.0, 100.0):
+            h.observe(v)
+        text = obs.render_prometheus(registry)
+        bucket_lines = [
+            line for line in text.splitlines() if line.startswith("lat_ms_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 5, "+Inf bucket must equal the total count"
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert "lat_ms_sum 112" in text
+        assert "lat_ms_count 5" in text
+
+    def test_write_prometheus_file(self, tmp_path):
+        registry = obs.enable_metrics()
+        registry.counter("x").inc()
+        path = tmp_path / "metrics.prom"
+        obs.write_prometheus(registry, path)
+        assert "x_total 1" in path.read_text()
+
+
+class TestChromeTrace:
+    def _collect(self):
+        collector = obs.enable_tracing()
+        with obs.span("summarize", trajectory_id="t-1"):
+            with obs.span("calibrate"):
+                pass
+            with obs.span("partition", k=2):
+                pass
+        return collector
+
+    def test_trace_events_array_and_schema(self):
+        collector = self._collect()
+        trace = obs.to_chrome_trace(collector)
+        assert isinstance(trace["traceEvents"], list)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"summarize", "calibrate", "partition"}
+        for event in complete:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert isinstance(event["ts"], float) and event["ts"] >= 0.0
+            assert isinstance(event["dur"], float) and event["dur"] >= 0.0
+            assert event["args"]["status"] == "ok"
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} >= {"process_name", "thread_name"}
+
+    def test_children_nest_inside_parent_window(self):
+        collector = self._collect()
+        events = {
+            e["name"]: e
+            for e in obs.to_chrome_trace(collector)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        root = events["summarize"]
+        for child in ("calibrate", "partition"):
+            assert events[child]["ts"] >= root["ts"]
+            assert (
+                events[child]["ts"] + events[child]["dur"]
+                <= root["ts"] + root["dur"] + 1.0
+            )
+
+    def test_tags_and_ids_in_args(self):
+        collector = self._collect()
+        events = {
+            e["name"]: e
+            for e in obs.to_chrome_trace(collector)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert events["summarize"]["args"]["trajectory_id"] == "t-1"
+        assert events["partition"]["args"]["k"] == 2
+        assert events["calibrate"]["args"]["parent_id"] == (
+            events["summarize"]["args"]["span_id"]
+        )
+
+    def test_error_span_carries_error_arg(self):
+        collector = obs.enable_tracing()
+        with pytest.raises(ValueError):
+            with obs.span("fragile"):
+                raise ValueError("boom")
+        [event] = [
+            e for e in obs.to_chrome_trace(collector)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["args"]["status"] == "error"
+        assert "boom" in event["args"]["error"]
+
+    def test_json_roundtrip_via_file(self, tmp_path):
+        collector = self._collect()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(collector, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"]["dropped"] == 0
+        assert loaded == json.loads(json.dumps(obs.to_chrome_trace(collector)))
+
+    def test_concurrent_spans_get_distinct_tracks(self):
+        collector = obs.enable_tracing()
+        n_threads, per_thread = 6, 25
+        barrier = threading.Barrier(n_threads)
+        errors: list[Exception] = []
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(per_thread):
+                    with obs.span(f"w{tid}"):
+                        with obs.span(f"w{tid}.child"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        trace = obs.to_chrome_trace(collector)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == n_threads * per_thread * 2
+        # Every span of a logical thread exports onto one tid, and parents
+        # share their children's tid — no cross-thread false nesting.
+        tids_by_worker: dict[str, set[int]] = {}
+        for event in complete:
+            worker_name = event["name"].split(".")[0]
+            tids_by_worker.setdefault(worker_name, set()).add(event["tid"])
+        for worker_name, tids in tids_by_worker.items():
+            assert len(tids) == 1, f"{worker_name} scattered across tids {tids}"
+        assert len({next(iter(t)) for t in tids_by_worker.values()}) == n_threads
+
+    def test_export_while_collecting(self):
+        """to_chrome_trace on a live collector sees a consistent snapshot."""
+        collector = obs.enable_tracing(max_spans=5000)
+        errors: list[Exception] = []
+
+        def producer() -> None:
+            try:
+                for _ in range(2000):
+                    with obs.span("hot"):
+                        pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            while thread.is_alive():
+                trace = obs.to_chrome_trace(collector)
+                json.dumps(trace)  # serializable snapshot at every point
+        finally:
+            thread.join()
+        assert not errors
+        final = obs.to_chrome_trace(collector)
+        assert len([e for e in final["traceEvents"] if e["ph"] == "X"]) == 2000

@@ -1,0 +1,166 @@
+"""Tests for run reports (repro.obs.report)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.report import (
+    RunReport,
+    _distribution,
+    build_run_report,
+    environment_fingerprint,
+)
+from repro.resilience import FaultInjector
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable_events()
+    obs.disable_tracing()
+    obs.disable_metrics()
+    yield
+    obs.disable_events()
+    obs.disable_tracing()
+    obs.disable_metrics()
+
+
+@pytest.fixture(scope="module")
+def base_trip(scenario):
+    rng = np.random.default_rng(505)
+    return scenario.simulate_trips(1, depart_time=9 * 3600.0, rng=rng)[0]
+
+
+class TestEnvironmentFingerprint:
+    def test_fields(self):
+        env = environment_fingerprint()
+        assert set(env) >= {
+            "python", "implementation", "platform", "machine", "cpu_count", "numpy",
+        }
+        assert env["numpy"] == np.__version__
+
+
+class TestDistribution:
+    def test_empty(self):
+        assert _distribution([]) == {"count": 0}
+
+    def test_single_value(self):
+        dist = _distribution([3.0])
+        assert dist["count"] == 1
+        assert dist["min"] == dist["max"] == dist["p50"] == dist["p95"] == 3.0
+
+    def test_ordering_invariants(self):
+        dist = _distribution([5.0, 1.0, 3.0, 9.0, 7.0])
+        assert dist["min"] <= dist["p50"] <= dist["p95"] <= dist["max"]
+        assert dist["count"] == 5
+
+
+class TestEmptyReport:
+    def test_build_with_no_inputs(self):
+        report = build_run_report()
+        assert report.quality["summaries"] == 0
+        assert report.resilience["quarantined"] == 0
+        assert report.stages == [] and report.metrics == {}
+        json.loads(report.to_json())  # serializable
+        md = report.to_markdown()
+        assert md.startswith("# STMaker run report")
+        assert "## Summary quality" in md and "## Resilience" in md
+
+
+class TestBuiltReport:
+    @pytest.fixture
+    def report(self, scenario, base_trip):
+        registry = obs.enable_metrics()
+        collector = obs.enable_tracing()
+        result = scenario.stmaker.summarize_many(
+            [base_trip.raw, base_trip.raw], k=2
+        )
+        return build_run_report(
+            batches=[result], registry=registry, collector=collector
+        )
+
+    def test_quality_section(self, report):
+        quality = report.quality
+        assert quality["summaries"] == 2
+        assert sum(quality["partition_counts"].values()) == 2
+        assert quality["partitions_mean"] >= 1.0
+        assert quality["selected_per_partition"] > 0.0
+        assert quality["gamma_selected"]["count"] > 0
+        assert 0.0 <= quality["gamma_selected"]["min"] <= 1.0
+        counts = list(quality["selected_feature_keys"].values())
+        assert counts == sorted(counts, reverse=True)
+
+    def test_stage_times_from_collector(self, report):
+        names = {stage["name"] for stage in report.stages}
+        assert "summarize_many" in names
+        for stage in report.stages:
+            assert stage["count"] >= 1
+            assert stage["total_ms"] >= stage["mean_ms"] >= 0.0
+
+    def test_metrics_snapshot_included(self, report):
+        assert any(name.startswith("summarize") for name in report.metrics)
+
+    def test_clean_run_has_no_resilience_incidents(self, report):
+        resilience = report.resilience
+        assert resilience["degraded_summaries"] == 0
+        assert resilience["quarantined"] == 0
+        assert resilience["retries"] == 0
+
+    def test_markdown_renders_all_sections(self, report):
+        md = report.to_markdown()
+        for heading in (
+            "## Summary quality",
+            "## Resilience",
+            "## Pipeline stage times (traced)",
+            "## Metrics",
+        ):
+            assert heading in md
+        assert "summaries: **2**" in md
+
+    def test_json_markdown_consistency(self, report):
+        data = json.loads(report.to_json())
+        assert data["quality"]["summaries"] == report.quality["summaries"]
+        assert set(data) == {
+            "created_unix", "environment", "stages", "resilience",
+            "quality", "metrics",
+        }
+
+    def test_write_pair(self, report, tmp_path):
+        json_path, md_path = report.write(tmp_path / "report")
+        assert json_path.endswith(".json") and md_path.endswith(".md")
+        loaded = json.loads(open(json_path, encoding="utf-8").read())
+        assert loaded["quality"]["summaries"] == 2
+        assert open(md_path, encoding="utf-8").read().startswith(
+            "# STMaker run report"
+        )
+
+
+class TestDegradedReport:
+    def test_fallbacks_surface_by_stage(self, scenario, base_trip):
+        injector = FaultInjector.raising("partition")
+        with injector.installed(scenario.stmaker):
+            summary = scenario.stmaker.summarize(base_trip.raw, k=2)
+        report = build_run_report([summary])
+        assert report.resilience["degraded_summaries"] == 1
+        assert report.resilience["fallbacks_by_stage"] == {"partition": 1}
+        assert "| partition | 1 |" in report.to_markdown()
+
+    def test_summaries_and_batches_merge(self, scenario, base_trip):
+        summary = scenario.stmaker.summarize(base_trip.raw, k=2)
+        batch = scenario.stmaker.summarize_many([base_trip.raw], k=2)
+        report = build_run_report([summary], batches=[batch])
+        assert report.quality["summaries"] == 2
+
+
+def test_run_report_dataclass_roundtrip():
+    report = RunReport(
+        created_unix=0.0,
+        environment={"python": "3.x"},
+        stages=[],
+        resilience={"degraded_summaries": 0},
+        quality={"summaries": 0},
+    )
+    assert json.loads(report.to_json(indent=None)) == report.to_dict()

@@ -279,6 +279,13 @@ def smoke_suite(training: int = 40, trips: int = 8) -> dict[str, Callable[[], ob
         stmaker.summarize_many(batch, k=2)
         return len(batch)
 
+    def summarize_many_pooled() -> int:
+        # Pool-path smoke: guards the sharding/reassembly overhead, not
+        # parallel throughput (see benchmarks/record_serving_baseline.py
+        # for the latency-bound speedup measurement).
+        stmaker.summarize_many(batch, k=2, workers=4)
+        return len(batch)
+
     def sanitize_clean() -> int:
         for raw in batch:
             sanitize_trajectory(raw)
@@ -287,6 +294,7 @@ def smoke_suite(training: int = 40, trips: int = 8) -> dict[str, Callable[[], ob
     return {
         "smoke.summarize_single_ms": summarize_single,
         "smoke.summarize_many_per_item_ms": summarize_many_batch,
+        "smoke.summarize_many_workers4_per_item_ms": summarize_many_pooled,
         "smoke.sanitize_clean_per_item_ms": sanitize_clean,
     }
 

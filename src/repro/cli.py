@@ -5,10 +5,12 @@ prints its summaries at several granularities (the Fig. 6 experience);
 ``stmaker summarize`` runs the pipeline on a user-supplied CSV trajectory
 recorded inside the synthetic city (with ``--sanitize``/``--strict``/
 ``--max-retries``/``--deadline`` resilience controls — see
-``docs/ROBUSTNESS.md``); ``stmaker experiment`` regenerates any of the
-paper's evaluation figures from the command line; ``stmaker report``
-summarizes a batch of simulated trips and writes a joined
-:class:`~repro.obs.RunReport` artifact (JSON + Markdown).
+``docs/ROBUSTNESS.md`` — and ``--workers``/``--shard-size`` sharded
+serving controls — see ``docs/SERVING.md``); ``stmaker experiment``
+regenerates any of the paper's evaluation figures from the command line;
+``stmaker report`` summarizes a batch of simulated trips (optionally on
+the worker pool) and writes a joined :class:`~repro.obs.RunReport`
+artifact (JSON + Markdown).
 
 Every subcommand also takes the observability flags:
 
@@ -135,6 +137,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             retry=RetryPolicy(max_retries=args.max_retries),
             deadline_s=args.deadline,
             progress=_progress_printer() if args.progress else None,
+            workers=args.workers, shard_size=args.shard_size,
         )
         if args.report_out:
             _write_run_report(args, batches=[result])
@@ -173,6 +176,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     result = scenario.stmaker.summarize_many(
         trips, k=args.k,
         progress=_progress_printer() if args.progress else None,
+        workers=args.workers, shard_size=args.shard_size,
     )
     report = obs.build_run_report(
         batches=[result], registry=registry, collector=collector
@@ -331,6 +335,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget; the trajectory is quarantined when exceeded",
     )
+    serving = summ.add_argument_group("serving")
+    serving.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker threads for the sharded batch pool (default: 1, serial)",
+    )
+    serving.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="items per shard (forces the pool even with --workers 1)",
+    )
     summ.add_argument(
         "--progress", action="store_true",
         help="print live progress/throughput lines to stderr",
@@ -358,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--trips", type=int, default=20, help="batch size")
     rep.add_argument("-k", type=int, default=None, help="partition count")
+    rep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker threads for the sharded batch pool (default: 1, serial)",
+    )
+    rep.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="items per shard (forces the pool even with --workers 1)",
+    )
     rep.add_argument(
         "--out", metavar="PREFIX", default="run-report",
         help="artifact prefix: writes PREFIX.json and PREFIX.md "

@@ -12,6 +12,13 @@ from typing import Sequence
 from repro.exceptions import FeatureError
 
 
+def _peak_scaled(values: Sequence[float]) -> Sequence[float]:
+    peak = max((abs(x) for x in values), default=0.0)
+    if peak > 0.0 and math.isfinite(peak):
+        return [x / peak for x in values]
+    return values
+
+
 def weighted_cosine_similarity(
     u: Sequence[float], v: Sequence[float], weights: Sequence[float]
 ) -> float:
@@ -28,6 +35,13 @@ def weighted_cosine_similarity(
         )
     if any(w < 0.0 for w in weights):
         raise FeatureError("feature weights must be non-negative")
+    # The cosine is invariant under positive rescaling of u, v, and the
+    # weights; normalizing each by its peak keeps the products below out
+    # of the subnormal range, where rounding is coarse enough to break
+    # symmetry (w=5e-324 made S(u,v) != S(v,u) before this).
+    u = _peak_scaled(u)
+    v = _peak_scaled(v)
+    weights = _peak_scaled(weights)
     dot = sum(w * a * b for w, a, b in zip(weights, u, v))
     norm_u = math.sqrt(sum(w * a * a for w, a in zip(weights, u)))
     norm_v = math.sqrt(sum(w * b * b for w, b in zip(weights, v)))

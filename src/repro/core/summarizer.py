@@ -16,7 +16,9 @@ error triggers the stage's documented fallback and is recorded in the
 summary's :class:`~repro.resilience.DegradationReport` (``strict=True``
 restores raise-on-first-error).  ``STMaker.summarize_many`` adds per-item
 error isolation, bounded retry, deadline budgets and a quarantine list on
-top — see ``docs/ROBUSTNESS.md`` for the full degradation ladder.
+top — see ``docs/ROBUSTNESS.md`` for the full degradation ladder — and,
+with ``workers > 1``, delegates to the sharded worker pool in
+:mod:`repro.serving` (element-wise identical results; ``docs/SERVING.md``).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.core.templates import partition_sentence, summary_text
 from repro.core.types import PartitionSpan, PartitionSummary, TrajectorySummary
 from repro.exceptions import (
     CalibrationError,
+    ConfigError,
     PartitionError,
     ReproError,
     TransientError,
@@ -57,6 +60,7 @@ from repro.resilience import (
     Deadline,
     DegradationEvent,
     DegradationReport,
+    ItemOutcome,
     QuarantineEntry,
     RetryPolicy,
 )
@@ -284,6 +288,9 @@ class STMaker:
         deadline_s: float | None = None,
         sleeper: Callable[[float], None] = time.sleep,
         progress: Callable[[BatchProgress], None] | None = None,
+        workers: int = 1,
+        shard_size: int | None = None,
+        shard_mode: str = "balanced",
     ) -> BatchResult:
         """Summarize a batch with per-item error isolation.
 
@@ -296,12 +303,32 @@ class STMaker:
         ``strict=True`` the first error raises instead (and no fallbacks
         run inside the items either).
 
+        With ``workers > 1`` (or an explicit ``shard_size``) the batch is
+        split into shards and served by the :mod:`repro.serving` worker
+        pool: element-wise identical results in input order, but each
+        shard gets its own full ``deadline_s`` budget and runs
+        concurrently.  ``shard_mode`` is one of
+        :data:`repro.serving.SHARD_MODES`.  The default ``workers=1`` with
+        no ``shard_size`` is the serial loop below, unchanged.
+
         A ``progress`` callback receives a :class:`BatchProgress` snapshot
         after every item; the live rate and ETA are also mirrored into the
         ``resilience.batch.items_per_s`` / ``.eta_s`` gauges and onto the
         event stream.
         """
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
         items = list(trajectories)
+        if workers > 1 or shard_size is not None:
+            from repro.serving import run_sharded
+
+            return run_sharded(
+                self, items, k,
+                sanitize=sanitize, sanitizer_config=sanitizer_config,
+                strict=strict, retry=retry, deadline_s=deadline_s,
+                sleeper=sleeper, progress=progress,
+                workers=workers, shard_size=shard_size, shard_mode=shard_mode,
+            )
         retry = retry or RetryPolicy()
         deadline = Deadline(deadline_s)
         result = BatchResult()
@@ -332,72 +359,18 @@ class STMaker:
 
         with span("summarize_many", items=len(items), k=k) as sp:
             for index, raw in enumerate(items):
-                m.counter("resilience.batch.items").inc()
-                if deadline.expired:
-                    result.sanitization.append(None)
-                    result.quarantined.append(QuarantineEntry(
-                        index, raw.trajectory_id, "DeadlineExceeded",
-                        f"batch deadline budget of {deadline_s:g}s exhausted "
-                        f"before item {index}", 0,
-                    ))
-                    m.counter("resilience.batch.quarantined").inc()
-                    emit_event(
-                        "quarantine", trajectory_id=raw.trajectory_id,
-                        index=index, error_type="DeadlineExceeded", attempts=0,
-                    )
-                    note_progress(index + 1)
-                    continue
-                attempts = 0
-                try:
-                    if sanitize:
-                        raw, cleaned = sanitize_trajectory(raw, sanitizer_config)
-                        result.sanitization.append(cleaned)
-                        if not cleaned.clean:
-                            emit_event(
-                                "sanitization", "sanitize", raw.trajectory_id,
-                                dropped=cleaned.dropped_total,
-                                reordered=cleaned.reordered,
-                            )
-                    else:
-                        result.sanitization.append(None)
-                    while True:
-                        attempts += 1
-                        try:
-                            result.summaries.append(
-                                self.summarize(raw, k=k, strict=strict)
-                            )
-                            m.counter("resilience.batch.ok").inc()
-                            break
-                        except TransientError as exc:
-                            if attempts > retry.max_retries:
-                                raise
-                            delay = retry.delay_s(attempts)
-                            if delay >= deadline.remaining_s():
-                                raise  # backing off would blow the budget
-                            m.counter("resilience.batch.retries").inc()
-                            retries_seen += 1
-                            emit_event(
-                                "retry", trajectory_id=raw.trajectory_id,
-                                attempt=attempts, delay_s=delay,
-                                error=f"{type(exc).__name__}: {exc}",
-                            )
-                            if delay > 0.0:
-                                sleeper(delay)
-                except ReproError as exc:
-                    if strict:
-                        raise
-                    if len(result.sanitization) <= index:
-                        result.sanitization.append(None)
-                    result.quarantined.append(QuarantineEntry(
-                        index, raw.trajectory_id, type(exc).__name__,
-                        str(exc), attempts,
-                    ))
-                    m.counter("resilience.batch.quarantined").inc()
-                    emit_event(
-                        "quarantine", trajectory_id=raw.trajectory_id,
-                        index=index, error_type=type(exc).__name__,
-                        attempts=attempts,
-                    )
+                outcome = self._summarize_item(
+                    index, raw, k=k,
+                    sanitize=sanitize, sanitizer_config=sanitizer_config,
+                    strict=strict, retry=retry, deadline=deadline,
+                    sleeper=sleeper,
+                )
+                retries_seen += outcome.retries
+                result.sanitization.append(outcome.sanitization)
+                if outcome.summary is not None:
+                    result.summaries.append(outcome.summary)
+                if outcome.quarantine is not None:
+                    result.quarantined.append(outcome.quarantine)
                 note_progress(index + 1)
             sp.set_tag("ok", result.ok_count)
             sp.set_tag("quarantined", result.quarantined_count)
@@ -407,6 +380,87 @@ class STMaker:
             duration_ms=(time.perf_counter() - started) * 1000.0,
         )
         return result
+
+    def _summarize_item(
+        self,
+        index: int,
+        raw: RawTrajectory,
+        *,
+        k: int | None,
+        sanitize: bool,
+        sanitizer_config: SanitizerConfig | None,
+        strict: bool,
+        retry: RetryPolicy,
+        deadline: Deadline,
+        sleeper: Callable[[float], None],
+    ) -> ItemOutcome:
+        """One batch item end to end: sanitize, summarize, retry, quarantine.
+
+        The single code path shared by the serial loop above and the
+        sharded pool in :mod:`repro.serving` — what makes ``workers=N``
+        element-wise identical to ``workers=1`` by construction.  Raises
+        only in ``strict`` mode; otherwise every failure becomes the
+        outcome's quarantine entry.
+        """
+        m = metrics()
+        m.counter("resilience.batch.items").inc()
+        if deadline.expired:
+            m.counter("resilience.batch.quarantined").inc()
+            emit_event(
+                "quarantine", trajectory_id=raw.trajectory_id,
+                index=index, error_type="DeadlineExceeded", attempts=0,
+            )
+            return ItemOutcome(index, None, QuarantineEntry(
+                index, raw.trajectory_id, "DeadlineExceeded",
+                f"batch deadline budget of {deadline.budget_s:g}s exhausted "
+                f"before item {index}", 0,
+            ), None)
+        attempts = 0
+        retries = 0
+        sanitization = None
+        try:
+            if sanitize:
+                raw, sanitization = sanitize_trajectory(raw, sanitizer_config)
+                if not sanitization.clean:
+                    emit_event(
+                        "sanitization", "sanitize", raw.trajectory_id,
+                        dropped=sanitization.dropped_total,
+                        reordered=sanitization.reordered,
+                    )
+            while True:
+                attempts += 1
+                try:
+                    summary = self.summarize(raw, k=k, strict=strict)
+                    m.counter("resilience.batch.ok").inc()
+                    return ItemOutcome(index, summary, None, sanitization, retries)
+                except TransientError as exc:
+                    if attempts > retry.max_retries:
+                        raise
+                    delay = retry.delay_s(attempts)
+                    if delay >= deadline.remaining_s():
+                        raise  # backing off would blow the budget
+                    m.counter("resilience.batch.retries").inc()
+                    retries += 1
+                    emit_event(
+                        "retry", trajectory_id=raw.trajectory_id,
+                        attempt=attempts, delay_s=delay,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    if delay > 0.0:
+                        sleeper(delay)
+        except ReproError as exc:
+            if strict:
+                raise
+            m.counter("resilience.batch.quarantined").inc()
+            emit_event(
+                "quarantine", trajectory_id=raw.trajectory_id,
+                index=index, error_type=type(exc).__name__,
+                attempts=attempts,
+            )
+            return ItemOutcome(index, None, QuarantineEntry(
+                index, raw.trajectory_id, type(exc).__name__,
+                str(exc), attempts,
+            ), sanitization, retries)
 
     def partition(
         self,

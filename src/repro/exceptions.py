@@ -63,3 +63,12 @@ class DeadlineExceeded(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""
+
+
+class ServingError(ReproError):
+    """Raised when the sharded serving layer violates an invariant.
+
+    Seeing one means a bug in :mod:`repro.serving` itself (lost, duplicated
+    or out-of-range item indices during reassembly), never bad user input —
+    bad items are quarantined, not raised.
+    """

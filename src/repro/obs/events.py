@@ -42,6 +42,8 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "batch_start",    # summarize_many began; payload has items
     "batch_end",      # ... finished; payload has ok/quarantined/duration_ms
     "progress",       # batch throughput heartbeat (items/s, ETA)
+    "shard_start",    # a serving pool shard began; payload has shard_id/items
+    "shard_end",      # ... finished; payload has ok/quarantined/duration_ms
 })
 
 

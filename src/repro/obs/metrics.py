@@ -129,21 +129,20 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float | None:
-        """Estimate the *q*-quantile (``0.0 <= q <= 1.0``) from the buckets.
+    def _snapshot(self) -> tuple[int, float, float, float, list[int]]:
+        """A mutually consistent (count, sum, min, max, counts) quintuple.
 
-        Uses linear interpolation inside the bucket holding the target rank
-        (the ``histogram_quantile`` estimator), clamped to the observed
-        ``[min, max]`` — so a single observation reports itself exactly and
-        the ``+inf`` bucket never produces an infinite estimate.  Returns
-        ``None`` for an empty histogram.
+        Taken under the lock: reading the fields piecemeal from a reader
+        thread while a pool worker observes would tear the snapshot (a
+        count that includes an observation whose bucket increment it
+        misses), which the serving concurrency suite caught.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
-            count = self.count
-            counts = list(self._counts)
-            lo, hi = self.min, self.max
+            return self.count, self.sum, self.min, self.max, list(self._counts)
+
+    def _percentile_from(
+        self, q: float, count: int, lo: float, hi: float, counts: list[int]
+    ) -> float | None:
         if count == 0:
             return None
         if q == 0.0:
@@ -163,24 +162,45 @@ class Histogram:
                 lower = bound
         return hi  # pragma: no cover - rank <= count always hits a bucket
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the *q*-quantile (``0.0 <= q <= 1.0``) from the buckets.
+
+        Uses linear interpolation inside the bucket holding the target rank
+        (the ``histogram_quantile`` estimator), clamped to the observed
+        ``[min, max]`` — so a single observation reports itself exactly and
+        the ``+inf`` bucket never produces an infinite estimate.  Returns
+        ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        count, _, lo, hi, counts = self._snapshot()
+        return self._percentile_from(q, count, lo, hi, counts)
+
     def bucket_counts(self) -> dict[str, int]:
+        _, _, _, _, counts = self._snapshot()
         return {
             ("+inf" if bound == math.inf else f"{bound:g}"): count
-            for bound, count in zip(self.buckets, self._counts)
+            for bound, count in zip(self.buckets, counts)
         }
 
     def to_dict(self) -> dict[str, object]:
+        # One snapshot for the whole dict, so count/sum/percentiles/buckets
+        # describe the same moment even while workers keep observing.
+        count, total, lo, hi, counts = self._snapshot()
         return {
             "type": "histogram",
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "buckets": self.bucket_counts(),
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else None,
+            "max": hi if count else None,
+            "p50": self._percentile_from(0.50, count, lo, hi, counts),
+            "p95": self._percentile_from(0.95, count, lo, hi, counts),
+            "p99": self._percentile_from(0.99, count, lo, hi, counts),
+            "buckets": {
+                ("+inf" if bound == math.inf else f"{bound:g}"): c
+                for bound, c in zip(self.buckets, counts)
+            },
         }
 
 

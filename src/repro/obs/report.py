@@ -7,6 +7,9 @@ A :class:`RunReport` collects, for one batch of summarizations:
 * per-stage **time totals** aggregated from the trace collector;
 * **resilience** roll-ups — degradation events per stage, quarantine and
   retry counts, sanitization repairs;
+* **serving** breakdown — when the batch ran on the sharded worker pool
+  (``summarize_many(workers=N)``), per-shard items/throughput/duration
+  from the ``serving.shard.<id>.*`` gauges;
 * **summary quality** — partition-count distribution, selected-feature
   rates and keys, and the distribution of the irregular rates Γ_f(TP)
   that drove selection (the paper's Sec. V criterion).
@@ -99,6 +102,8 @@ class RunReport:
     resilience: dict[str, object]
     quality: dict[str, object]
     metrics: dict[str, dict[str, object]] = field(default_factory=dict)
+    #: Sharded-serving breakdown (``{}`` when the batch ran serially).
+    serving: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -108,6 +113,7 @@ class RunReport:
             "resilience": self.resilience,
             "quality": self.quality,
             "metrics": self.metrics,
+            "serving": self.serving,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -173,6 +179,27 @@ class RunReport:
                 _markdown_table(
                     ["stage", "fallbacks"],
                     [[stage, count] for stage, count in per_stage.items()],
+                ),
+            ]
+
+        shards = self.serving.get("shards", [])
+        if shards:
+            sections += [
+                "",
+                "## Sharded serving",
+                "",
+                f"Batch served by **{self.serving.get('workers', '?')} worker(s)** "
+                f"over **{len(shards)} shard(s)**.",
+                "",
+                _markdown_table(
+                    ["shard", "items", "ok", "quarantined", "duration ms", "items/s"],
+                    [
+                        [
+                            s["shard_id"], s["items"], s["ok"], s["quarantined"],
+                            s["duration_ms"], s["items_per_s"],
+                        ]
+                        for s in shards
+                    ],
                 ),
             ]
 
@@ -288,6 +315,42 @@ def _resilience_stats(
     }
 
 
+def _serving_stats(
+    metrics_snapshot: dict[str, dict[str, object]],
+) -> dict[str, object]:
+    """Per-shard throughput rows from the ``serving.shard.<id>.*`` gauges.
+
+    Returns ``{}`` when the run never touched the worker pool, so serial
+    run reports are unchanged.
+    """
+    per_shard: dict[int, dict[str, object]] = {}
+    for name, data in metrics_snapshot.items():
+        parts = name.split(".")
+        if (
+            len(parts) != 4
+            or parts[0] != "serving"
+            or parts[1] != "shard"
+            or not parts[2].isdigit()
+        ):
+            continue
+        shard = per_shard.setdefault(int(parts[2]), {"shard_id": int(parts[2])})
+        value = data.get("value")
+        # Counts arrive as float gauges; render them as the ints they are.
+        if parts[3] in ("items", "ok", "quarantined") and value is not None:
+            value = int(value)  # type: ignore[arg-type]
+        shard[parts[3]] = value
+    if not per_shard:
+        return {}
+    out: dict[str, object] = {
+        "shards": [per_shard[shard_id] for shard_id in sorted(per_shard)],
+    }
+    for gauge, key in (("serving.workers", "workers"), ("serving.shards", "shard_count")):
+        data = metrics_snapshot.get(gauge)
+        if data and data.get("value") is not None:
+            out[key] = int(data["value"])  # type: ignore[arg-type]
+    return out
+
+
 def build_run_report(
     summaries: Iterable["TrajectorySummary"] = (),
     *,
@@ -335,4 +398,5 @@ def build_run_report(
         resilience=resilience,
         quality=_quality_stats(summaries),
         metrics=metrics_snapshot,
+        serving=_serving_stats(metrics_snapshot),
     )

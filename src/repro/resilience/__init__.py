@@ -17,7 +17,12 @@ degradation ladder itself is implemented in :mod:`repro.core.summarizer`.
 See ``docs/ROBUSTNESS.md`` for the guided tour.
 """
 
-from repro.resilience.batch import BatchProgress, BatchResult, QuarantineEntry
+from repro.resilience.batch import (
+    BatchProgress,
+    BatchResult,
+    ItemOutcome,
+    QuarantineEntry,
+)
 from repro.resilience.degradation import STAGES, DegradationEvent, DegradationReport
 from repro.resilience.faultinject import FaultInjector, FaultSpec, InjectedFault
 from repro.resilience.policy import Deadline, RetryPolicy
@@ -30,6 +35,7 @@ __all__ = [
     "Deadline",
     "BatchProgress",
     "BatchResult",
+    "ItemOutcome",
     "QuarantineEntry",
     "FaultInjector",
     "FaultSpec",

@@ -41,6 +41,34 @@ class QuarantineEntry:
 
 
 @dataclass(frozen=True, slots=True)
+class ItemOutcome:
+    """The complete outcome of one batch item, keyed by its input index.
+
+    Exactly one of ``summary`` / ``quarantine`` is set.  This is the unit
+    of work shared by the serial loop in
+    :meth:`repro.core.STMaker.summarize_many` and the sharded worker pool
+    in :mod:`repro.serving`: both produce the same outcomes item by item,
+    which is what makes "parallel ≡ serial" hold by construction.
+    """
+
+    #: Position of the item in the input batch.
+    index: int
+    summary: "TrajectorySummary | None"
+    quarantine: QuarantineEntry | None
+    #: The item's sanitization report (``None`` when sanitization was off
+    #: or the item never reached the cleaning pass).
+    sanitization: SanitizationReport | None
+    #: Transient retries this item consumed before succeeding or giving up.
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.summary is None) == (self.quarantine is None):
+            raise ValueError(
+                f"item {self.index}: exactly one of summary/quarantine must be set"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class BatchProgress:
     """A live throughput snapshot, delivered after each batch item.
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import contextlib
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
@@ -76,6 +77,9 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self._sleeper = sleeper
         self._fired: dict[str, int] = {}
+        # Shared injectors get hit concurrently by serving pool workers;
+        # the counters must not lose updates (the stress suite checks).
+        self._lock = threading.Lock()
 
     @classmethod
     def raising(
@@ -93,17 +97,31 @@ class FaultInjector:
 
         Applies latency, then raises, for every armed spec matching the
         stage.  A no-op when nothing matches or all specs are exhausted.
+        Thread-safe: the spec bookkeeping happens under a lock, the
+        latency sleeps and the raise happen outside it, so concurrent
+        pool workers never lose a fire count and never sleep serialized.
         """
-        for i, spec in enumerate(self._specs):
-            if spec.stage not in (stage, "*"):
-                continue
-            if self._remaining[i] == 0:
-                continue
-            if spec.probability is not None and self._rng.random() >= spec.probability:
-                continue
-            if self._remaining[i] is not None:
-                self._remaining[i] -= 1
-            self._fired[stage] = self._fired.get(stage, 0) + 1
+        firing: list[FaultSpec] = []
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if spec.stage not in (stage, "*"):
+                    continue
+                if self._remaining[i] == 0:
+                    continue
+                if (
+                    spec.probability is not None
+                    and self._rng.random() >= spec.probability
+                ):
+                    continue
+                if self._remaining[i] is not None:
+                    self._remaining[i] -= 1
+                self._fired[stage] = self._fired.get(stage, 0) + 1
+                firing.append(spec)
+                if spec.error is not None:
+                    # The raise below ends this call; later specs stay
+                    # armed exactly as in the original serial semantics.
+                    break
+        for spec in firing:
             if spec.latency_s > 0.0:
                 self._sleeper(spec.latency_s)
             if spec.error is not None:
@@ -111,12 +129,14 @@ class FaultInjector:
 
     def fired(self, stage: str | None = None) -> int:
         """How often faults fired — for one stage, or in total."""
-        if stage is not None:
-            return self._fired.get(stage, 0)
-        return sum(self._fired.values())
+        with self._lock:
+            if stage is not None:
+                return self._fired.get(stage, 0)
+            return sum(self._fired.values())
 
     def fired_by_stage(self) -> dict[str, int]:
-        return dict(self._fired)
+        with self._lock:
+            return dict(self._fired)
 
     @contextlib.contextmanager
     def installed(self, stmaker) -> Iterator["FaultInjector"]:

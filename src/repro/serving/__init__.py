@@ -1,0 +1,35 @@
+"""Sharded parallel batch serving for ``STMaker.summarize_many``.
+
+The paper's pipeline is embarrassingly parallel across trajectories: once
+the landmark store and historical feature map are trained, every summary
+is an independent pure function of its input.  This package exploits that
+without changing semantics:
+
+* :mod:`~repro.serving.sharder` — partition a batch into shards
+  (balanced / round-robin / stable key-hashed);
+* :mod:`~repro.serving.pool` — run shards on a thread pool with per-shard
+  deadline budgets, shared retry policy, and live progress
+  (:func:`run_sharded`, plus the ``await``-able :func:`run_sharded_async`);
+* :mod:`~repro.serving.ordering` — reassemble per-item outcomes into
+  input order regardless of completion order (:func:`reassemble`).
+
+The contract — **parallel ≡ serial** — is pinned by the differential and
+property suites (``tests/test_serving_*.py``): ``summarize_many(workers=4)``
+returns element-wise identical summaries, degradation reports, quarantine
+entries and sanitization reports to ``workers=1``, including under
+deterministic fault injection.  See ``docs/SERVING.md``.
+"""
+
+from repro.serving.ordering import reassemble
+from repro.serving.pool import run_sharded, run_sharded_async
+from repro.serving.sharder import SHARD_MODES, Shard, plan_shards, stable_key_hash
+
+__all__ = [
+    "SHARD_MODES",
+    "Shard",
+    "plan_shards",
+    "stable_key_hash",
+    "reassemble",
+    "run_sharded",
+    "run_sharded_async",
+]

@@ -1,0 +1,232 @@
+"""Sharded worker-pool execution of a summarization batch.
+
+:func:`run_sharded` is the parallel twin of the serial loop in
+:meth:`repro.core.STMaker.summarize_many` (which delegates here when
+``workers > 1`` or a ``shard_size`` is given):
+
+1. the batch is split into shards (:mod:`repro.serving.sharder`);
+2. each shard runs on a :class:`~concurrent.futures.ThreadPoolExecutor`
+   worker, item by item through the **same**
+   ``STMaker._summarize_item`` code path the serial loop uses — retries,
+   sanitization, degradation and quarantine semantics are shared code,
+   not a reimplementation;
+3. every shard gets its **own** :class:`~repro.resilience.Deadline` of the
+   full budget (a slow shard cannot starve its siblings), and its items
+   land in the shared result via :func:`repro.serving.ordering.reassemble`,
+   so the output is in input order no matter the completion order.
+
+Observability: the pool emits ``shard_start``/``shard_end`` events around
+every shard, mirrors per-shard throughput into ``serving.shard.<id>.*``
+gauges (the run report's per-shard breakdown), and keeps the serial path's
+``batch_start``/``progress``/``batch_end`` stream intact, so dashboards
+built on the serial vocabulary keep working.
+
+Threads, not processes: trajectory summarization shares large read-only
+trained state (landmark index, transfer network, feature map) that
+threads get for free.  Pure-Python stages serialize on the GIL, so the
+wall-clock win comes from overlapping the *blocking* portions of item
+latency (storage, map-service calls, injected chaos latency) — the shape
+production serving has.  See ``docs/SERVING.md`` for the measured scaling
+profile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exceptions import ConfigError
+from repro.obs import emit_event, metrics, span
+from repro.resilience import (
+    BatchProgress,
+    BatchResult,
+    Deadline,
+    ItemOutcome,
+    RetryPolicy,
+)
+from repro.serving.ordering import reassemble
+from repro.serving.sharder import Shard, plan_shards
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.summarizer import STMaker
+    from repro.trajectory import RawTrajectory, SanitizerConfig
+
+
+class _ProgressBoard:
+    """Thread-safe live tallies behind the batch ``progress`` callback."""
+
+    def __init__(
+        self,
+        total: int,
+        progress: Callable[[BatchProgress], None] | None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._total = total
+        self._progress = progress
+        self._started = time.perf_counter()
+        self.done = 0
+        self.ok = 0
+        self.quarantined = 0
+        self.retries = 0
+
+    def note(self, outcome: ItemOutcome) -> None:
+        with self._lock:
+            self.done += 1
+            self.retries += outcome.retries
+            if outcome.summary is not None:
+                self.ok += 1
+            else:
+                self.quarantined += 1
+            done, ok, quarantined, retries = (
+                self.done, self.ok, self.quarantined, self.retries,
+            )
+        elapsed = time.perf_counter() - self._started
+        rate = done / elapsed if elapsed > 0.0 else 0.0
+        eta = (self._total - done) / rate if rate > 0.0 else None
+        m = metrics()
+        m.gauge("resilience.batch.items_per_s").set(rate)
+        if eta is not None:
+            m.gauge("resilience.batch.eta_s").set(eta)
+        emit_event(
+            "progress", done=done, total=self._total, ok=ok,
+            quarantined=quarantined, items_per_s=rate, eta_s=eta,
+        )
+        if self._progress is not None:
+            self._progress(BatchProgress(
+                done, self._total, ok, quarantined, retries, elapsed, rate, eta,
+            ))
+
+
+def run_sharded(
+    stmaker: "STMaker",
+    items: Sequence["RawTrajectory"],
+    k: int | None = None,
+    *,
+    sanitize: bool = True,
+    sanitizer_config: "SanitizerConfig | None" = None,
+    strict: bool = False,
+    retry: RetryPolicy | None = None,
+    deadline_s: float | None = None,
+    sleeper: Callable[[float], None] = time.sleep,
+    progress: Callable[[BatchProgress], None] | None = None,
+    workers: int = 2,
+    shard_size: int | None = None,
+    shard_mode: str = "balanced",
+    shard_key: Callable[["RawTrajectory"], str] | None = None,
+) -> BatchResult:
+    """Summarize *items* on a pool of *workers* threads, shard by shard.
+
+    Semantics match ``summarize_many(workers=1)`` element-wise — same
+    summaries, same degradation reports, same quarantine entries, in the
+    same input order (the differential suite pins this).  The only
+    intentional divergence is the deadline: each shard gets the full
+    ``deadline_s`` budget instead of the whole batch sharing one clock.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    items = list(items)
+    retry = retry or RetryPolicy()
+    keys = None
+    if shard_mode == "hashed":
+        key_of = shard_key or (lambda raw: raw.trajectory_id)
+        keys = [key_of(raw) for raw in items]
+    shards = plan_shards(
+        len(items),
+        mode=shard_mode,
+        num_shards=None if shard_size is not None else workers,
+        shard_size=shard_size,
+        keys=keys,
+    )
+    m = metrics()
+    m.counter("resilience.batch.calls").inc()
+    m.counter("serving.batch.calls").inc()
+    m.gauge("serving.workers").set(workers)
+    m.gauge("serving.shards").set(len(shards))
+    emit_event(
+        "batch_start", items=len(items), k=k,
+        workers=workers, shards=len(shards), shard_mode=shard_mode,
+    )
+    started = time.perf_counter()
+    board = _ProgressBoard(len(items), progress)
+
+    def run_shard(shard: Shard) -> list[ItemOutcome]:
+        deadline = Deadline(deadline_s)
+        emit_event("shard_start", shard_id=shard.shard_id, items=len(shard))
+        shard_started = time.perf_counter()
+        outcomes: list[ItemOutcome] = []
+        ok = quarantined = 0
+        with span("shard", shard_id=shard.shard_id, items=len(shard)):
+            for index in shard.indices:
+                outcome = stmaker._summarize_item(
+                    index, items[index], k=k,
+                    sanitize=sanitize, sanitizer_config=sanitizer_config,
+                    strict=strict, retry=retry, deadline=deadline,
+                    sleeper=sleeper,
+                )
+                outcomes.append(outcome)
+                if outcome.summary is not None:
+                    ok += 1
+                else:
+                    quarantined += 1
+                board.note(outcome)
+        duration_ms = (time.perf_counter() - shard_started) * 1000.0
+        rate = len(shard) / (duration_ms / 1000.0) if duration_ms > 0.0 else 0.0
+        prefix = f"serving.shard.{shard.shard_id}"
+        m.gauge(f"{prefix}.items").set(len(shard))
+        m.gauge(f"{prefix}.ok").set(ok)
+        m.gauge(f"{prefix}.quarantined").set(quarantined)
+        m.gauge(f"{prefix}.duration_ms").set(duration_ms)
+        m.gauge(f"{prefix}.items_per_s").set(rate)
+        emit_event(
+            "shard_end", shard_id=shard.shard_id, items=len(shard),
+            ok=ok, quarantined=quarantined,
+            duration_ms=duration_ms, items_per_s=rate,
+        )
+        return outcomes
+
+    all_outcomes: list[ItemOutcome] = []
+    with span(
+        "summarize_many", items=len(items), k=k,
+        workers=workers, shards=len(shards),
+    ) as sp:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serving"
+        ) as pool:
+            # In strict mode a worker raises; .result() re-raises the first
+            # failure here after the executor drains, matching the serial
+            # loop's raise-on-first-error contract.
+            for outcomes in pool.map(run_shard, shards):
+                all_outcomes.extend(outcomes)
+        result = reassemble(all_outcomes, len(items))
+        sp.set_tag("ok", result.ok_count)
+        sp.set_tag("quarantined", result.quarantined_count)
+    emit_event(
+        "batch_end", ok=result.ok_count,
+        quarantined=result.quarantined_count,
+        duration_ms=(time.perf_counter() - started) * 1000.0,
+        shards=len(shards),
+    )
+    return result
+
+
+async def run_sharded_async(
+    stmaker: "STMaker",
+    items: Sequence["RawTrajectory"],
+    k: int | None = None,
+    **kwargs: object,
+) -> BatchResult:
+    """``await``-able wrapper around :func:`run_sharded`.
+
+    The pool (and its blocking shard work) runs on a worker thread via the
+    running loop's default executor, so an asyncio front-end (an aiohttp
+    handler, a queue consumer) can serve batches without blocking its
+    event loop.  Accepts the same keyword arguments as :func:`run_sharded`.
+    """
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None, functools.partial(run_sharded, stmaker, items, k, **kwargs)
+    )

@@ -49,6 +49,13 @@ class TestWeightedCosine:
         with pytest.raises(FeatureError):
             weighted_cosine_similarity([1], [1], [-1])
 
+    def test_subnormal_weight_stays_symmetric(self):
+        # w=5e-324 underflows (w*a)*b differently from (w*b)*a; the
+        # peak-rescaling inside the similarity keeps it symmetric.
+        u, v, w = [0.0, 3.0, 0.0], [0.0, 1.5, 0.0], [0.0, 5e-324, 0.0]
+        assert weighted_cosine_similarity(u, v, w) == pytest.approx(1.0)
+        assert weighted_cosine_similarity(v, u, w) == pytest.approx(1.0)
+
     @given(vec3, vec3, weights3)
     def test_range_and_symmetry(self, u, v, w):
         s = weighted_cosine_similarity(u, v, w)

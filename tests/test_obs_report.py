@@ -125,7 +125,7 @@ class TestBuiltReport:
         assert data["quality"]["summaries"] == report.quality["summaries"]
         assert set(data) == {
             "created_unix", "environment", "stages", "resilience",
-            "quality", "metrics",
+            "quality", "metrics", "serving",
         }
 
     def test_write_pair(self, report, tmp_path):

@@ -254,6 +254,74 @@ def check_regressions(
     return findings
 
 
+def load_history(path=DEFAULT_HISTORY, *, mode: str | None = "smoke") -> list[dict]:
+    """The parsed ``BENCH_history.jsonl`` records (oldest first).
+
+    Unparseable lines are skipped — the history survives interrupted runs
+    and hand edits.  *mode* filters to records of one benchmark mode
+    (``None`` keeps everything).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if mode is not None and record.get("mode") != mode:
+            continue
+        records.append(record)
+    return records
+
+
+def check_trend(
+    results: dict[str, BenchStats],
+    history: list[dict],
+    *,
+    window: int = 5,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> list[dict[str, object]]:
+    """Judge this run against the *trend* of the last *window* history runs.
+
+    The reference for each benchmark is the median of its last *window*
+    recorded medians — so one noisy historical run cannot poison the gate
+    the way a single-sample baseline can.  ``status`` is ``"regressed"``
+    when this run's median is more than *tolerance_pct* above the trend,
+    ``"ok"`` when within it, and ``"new"`` with fewer than two prior runs
+    (a trend needs history to exist).
+    """
+    findings: list[dict[str, object]] = []
+    for name, stats in results.items():
+        prior = [
+            record["results"][name]["median_ms"]
+            for record in history
+            if name in record.get("results", {})
+        ][-window:]
+        if len(prior) < 2:
+            findings.append({
+                "name": name, "status": "new",
+                "median_ms": stats.median_ms, "trend_ms": None,
+                "delta_pct": None, "window": len(prior),
+            })
+            continue
+        trend = statistics.median(prior)
+        delta_pct = 100.0 * (stats.median_ms - trend) / trend if trend else 0.0
+        findings.append({
+            "name": name,
+            "status": "regressed" if delta_pct > tolerance_pct else "ok",
+            "median_ms": stats.median_ms,
+            "trend_ms": trend,
+            "delta_pct": delta_pct,
+            "window": len(prior),
+        })
+    return findings
+
+
 # -- smoke suite --------------------------------------------------------------
 
 
@@ -324,6 +392,11 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 when any benchmark regressed beyond tolerance "
         "(default: advisory — warn and exit 0)",
     )
+    parser.add_argument(
+        "--trend-window", type=int, default=0, metavar="K",
+        help="also judge each median against the median of its last K "
+        "history runs (0 = off); regressions count toward --gate",
+    )
     args = parser.parse_args(argv)
 
     suite = smoke_suite(training=args.training, trips=args.trips)
@@ -356,8 +429,48 @@ def main(argv: list[str] | None = None) -> int:
     if not regressed and baseline is not None:
         print("gate: all benchmarks within tolerance", file=sys.stderr)
 
+    trend_findings: list[dict[str, object]] = []
+    if args.trend_window > 0:
+        # Judge against the recent history trend, not just the committed
+        # one-shot baseline — the history file persists across CI runs.
+        history = load_history(args.history, mode="smoke")
+        trend_findings = check_trend(
+            results, history, window=args.trend_window
+        )
+        for finding in trend_findings:
+            if finding["status"] == "new":
+                print(
+                    f"trend: {finding['name']}: only {finding['window']} "
+                    f"prior run(s), need 2+ for a trend",
+                    file=sys.stderr,
+                )
+            elif finding["status"] == "regressed":
+                print(
+                    f"trend: REGRESSION {finding['name']}: "
+                    f"{finding['median_ms']:.3f} ms vs trend "
+                    f"{finding['trend_ms']:.3f} ms over last "
+                    f"{finding['window']} run(s) "
+                    f"({finding['delta_pct']:+.1f}%)",
+                    file=sys.stderr,
+                )
+        trend_regressed = [
+            f for f in trend_findings if f["status"] == "regressed"
+        ]
+        if not trend_regressed and any(
+            f["status"] == "ok" for f in trend_findings
+        ):
+            print(
+                f"trend: all benchmarks within tolerance of the last "
+                f"{args.trend_window}-run trend",
+                file=sys.stderr,
+            )
+        regressed.extend(trend_regressed)
+
     if not args.no_history:
-        append_history(results, path=args.history, gate=findings)
+        append_history(
+            results, path=args.history,
+            gate=findings + trend_findings,
+        )
         print(f"history appended to {args.history}", file=sys.stderr)
     if args.update_baseline:
         write_baseline(results, path=args.baseline)

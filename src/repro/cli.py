@@ -24,6 +24,11 @@ Every subcommand also takes the observability flags:
   exposition format;
 * ``--events-out FILE`` — stream pipeline events (stage start/end,
   degradation, retry, quarantine, sanitization, progress) as JSONL;
+* ``--ops-port PORT`` — serve live ``/metrics``, ``/healthz``,
+  ``/readyz``, ``/status`` and ``/events`` over HTTP while the command
+  runs (``stmaker ops-serve`` keeps the surface up as a long-lived loop);
+* ``--flight-dir DIR`` — run the black-box flight recorder; every
+  quarantine/degradation dumps the recent event/span tail to DIR;
 * ``--profile`` — print a cProfile report of the command to stderr.
 
 Primary command output (summary text, experiment tables) stays on stdout;
@@ -124,6 +129,9 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         stmaker = load_stmaker(args.model)
     else:
         stmaker = _build_scenario(args.seed, args.training).stmaker
+    from repro import obs
+
+    obs.mark_ready()  # model is warm; flip /readyz when --ops-port is up
 
     if args.strict:
         summary = stmaker.summarize(
@@ -163,6 +171,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro import obs
 
     scenario = _build_scenario(args.seed, args.training)
+    obs.mark_ready()  # model is warm; flip /readyz when --ops-port is up
     trips = [
         scenario.simulate_trip(depart_time=(8.0 + 0.2 * i) * 3600.0).raw
         for i in range(args.trips)
@@ -184,6 +193,60 @@ def _cmd_report(args: argparse.Namespace) -> int:
     json_path, md_path = report.write(args.out)
     print(report.to_markdown(), end="")
     print(f"\nrun report written to {json_path} and {md_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_ops_serve(args: argparse.Namespace) -> int:
+    """A long-lived serving loop behind the live ops surface.
+
+    Builds the scenario once, marks the surface ready, then keeps
+    summarizing batches of simulated trips until ``--duration`` elapses
+    (or forever, until Ctrl-C) — a self-contained way to exercise
+    ``/metrics``, ``/status`` and the flight recorder against a process
+    that is actually doing work.
+    """
+    import time as _time
+
+    from repro import obs
+
+    # The surface is the point of this command: metrics and events are
+    # always on here, and the server was started by main() (--ops-port
+    # is implied by the subcommand's --port).
+    obs.enable_metrics()
+    obs.enable_events()
+    scenario = _build_scenario(args.seed, args.training)
+    obs.mark_ready()
+    server = obs.active_ops_server()
+    if server is not None:
+        print(f"ops surface listening on {server.url}", file=sys.stderr)
+    started = _time.monotonic()
+    batch = 0
+    try:
+        while args.duration is None or _time.monotonic() - started < args.duration:
+            trips = [
+                scenario.simulate_trip(
+                    depart_time=(6.0 + ((batch * args.trips + i) % 64) * 0.25) * 3600.0
+                ).raw
+                for i in range(args.trips)
+            ]
+            result = scenario.stmaker.summarize_many(
+                trips, k=args.k, workers=args.workers
+            )
+            batch += 1
+            logger.info(
+                "batch %d: ok=%d quarantined=%d",
+                batch, result.ok_count, result.quarantined_count,
+            )
+            if args.duration is not None:
+                remaining = args.duration - (_time.monotonic() - started)
+                if remaining <= 0:
+                    break
+                _time.sleep(min(args.interval, max(remaining, 0.0)))
+            elif args.interval > 0:
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        logger.info("interrupted; shutting down ops loop")
+    print(f"served {batch} batch(es)", file=sys.stderr)
     return 0
 
 
@@ -283,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", metavar="FILE", default=None,
         help="stream pipeline events (stage/degradation/retry/quarantine/"
         "sanitization/progress) as JSONL to FILE",
+    )
+    group.add_argument(
+        "--ops-port", type=int, default=None, metavar="PORT",
+        help="serve live /metrics, /healthz, /readyz, /status and /events "
+        "on 127.0.0.1:PORT for the duration of the command (0 = ephemeral)",
+    )
+    group.add_argument(
+        "--flight-dir", metavar="DIR", default=None,
+        help="enable the black-box flight recorder; quarantines and "
+        "degradations dump the recent event/span tail as JSONL into DIR",
     )
     group.add_argument(
         "--profile", action="store_true",
@@ -389,6 +462,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print live progress/throughput lines to stderr",
     )
     rep.set_defaults(func=_cmd_report)
+
+    ops = sub.add_parser(
+        "ops-serve", parents=[obs_flags],
+        help="run a serving loop behind the live HTTP ops surface",
+    )
+    ops.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="ops surface port on 127.0.0.1 (default: 0, ephemeral)",
+    )
+    ops.add_argument(
+        "--trips", type=int, default=5, help="simulated trips per batch"
+    )
+    ops.add_argument("-k", type=int, default=None, help="partition count")
+    ops.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker threads for each batch (default: 1, serial)",
+    )
+    ops.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="pause between batches (default: 1.0)",
+    )
+    ops.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after SECONDS (default: run until Ctrl-C)",
+    )
+    ops.set_defaults(func=_cmd_ops_serve)
     return parser
 
 
@@ -421,6 +520,19 @@ def main(argv: list[str] | None = None) -> int:
     if events_out:
         event_sink = obs.JsonlEventSink(events_out)
         obs.enable_events().subscribe(event_sink)
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir is not None:
+        obs.enable_flight_recorder(dump_dir=flight_dir)
+    ops_port = getattr(args, "ops_port", None)
+    if ops_port is None and args.command == "ops-serve":
+        ops_port = args.port
+    ops_server = None
+    if ops_port is not None:
+        # /metrics and /status need live sinks to be worth scraping.
+        obs.enable_metrics()
+        obs.enable_events()
+        ops_server = obs.start_ops_server(port=ops_port)
+        logger.info("ops surface listening on %s", ops_server.url)
     profile_cm = (
         obs.profiled(limit=25)
         if getattr(args, "profile", False)
@@ -477,6 +589,16 @@ def main(argv: list[str] | None = None) -> int:
             logger.info(
                 "%d events written to %s", event_sink.written, events_out
             )
+        if ops_server is not None:
+            obs.stop_ops_server()
+        if flight_dir is not None:
+            recorder = obs.flight_recorder()
+            if recorder is not None and recorder.dump_paths:
+                logger.info(
+                    "%d flight recorder dump(s) in %s",
+                    len(recorder.dump_paths), flight_dir,
+                )
+            obs.disable_flight_recorder()
         obs.disable_events()
         obs.disable_tracing()
         obs.disable_metrics()

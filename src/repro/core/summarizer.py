@@ -349,11 +349,7 @@ class STMaker:
                 done, len(items), result.ok_count, result.quarantined_count,
                 retries_seen, elapsed, rate, eta,
             )
-            emit_event(
-                "progress", done=done, total=len(items), ok=result.ok_count,
-                quarantined=result.quarantined_count, items_per_s=rate,
-                eta_s=eta,
-            )
+            emit_event("progress", **snapshot.to_dict())
             if progress is not None:
                 progress(snapshot)
 
@@ -406,14 +402,17 @@ class STMaker:
         m.counter("resilience.batch.items").inc()
         if deadline.expired:
             m.counter("resilience.batch.quarantined").inc()
+            message = (
+                f"batch deadline budget of {deadline.budget_s:g}s exhausted "
+                f"before item {index}"
+            )
             emit_event(
                 "quarantine", trajectory_id=raw.trajectory_id,
                 index=index, error_type="DeadlineExceeded", attempts=0,
+                error=message,
             )
             return ItemOutcome(index, None, QuarantineEntry(
-                index, raw.trajectory_id, "DeadlineExceeded",
-                f"batch deadline budget of {deadline.budget_s:g}s exhausted "
-                f"before item {index}", 0,
+                index, raw.trajectory_id, "DeadlineExceeded", message, 0,
             ), None)
         attempts = 0
         retries = 0
@@ -455,7 +454,7 @@ class STMaker:
             emit_event(
                 "quarantine", trajectory_id=raw.trajectory_id,
                 index=index, error_type=type(exc).__name__,
-                attempts=attempts,
+                attempts=attempts, error=str(exc),
             )
             return ItemOutcome(index, None, QuarantineEntry(
                 index, raw.trajectory_id, type(exc).__name__,

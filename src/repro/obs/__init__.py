@@ -19,6 +19,11 @@ See ``docs/OBSERVABILITY.md`` for the span/metric naming conventions and
 the catalogue the pipeline emits.
 """
 
+from repro.obs.aggregate import (
+    TelemetrySnapshot,
+    apply_telemetry,
+    capture_telemetry,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     EventBus,
@@ -34,11 +39,20 @@ from repro.obs.events import (
 )
 from repro.obs.export import (
     chrome_trace_events,
+    escape_help,
+    parse_prometheus,
     prometheus_name,
     render_prometheus,
     to_chrome_trace,
     write_chrome_trace,
     write_prometheus,
+)
+from repro.obs.flight import (
+    DEFAULT_TRIGGER_KINDS,
+    FlightRecorder,
+    disable_flight_recorder,
+    enable_flight_recorder,
+    flight_recorder,
 )
 from repro.obs.logconfig import configure_logging
 from repro.obs.metrics import (
@@ -48,14 +62,24 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricsSnapshot,
     NullMetrics,
     disable_metrics,
     enable_metrics,
     metrics,
     metrics_enabled,
+    scoped_metrics,
 )
 from repro.obs.profile import ProfileReport, profiled
 from repro.obs.report import RunReport, build_run_report, environment_fingerprint
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    OpsServer,
+    active_ops_server,
+    mark_ready,
+    start_ops_server,
+    stop_ops_server,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -91,19 +115,40 @@ __all__ = [
     "disable_metrics",
     "metrics_enabled",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "NullMetrics",
     "Counter",
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
     "NULL_METRICS",
+    "scoped_metrics",
     # exporters
     "render_prometheus",
+    "parse_prometheus",
     "write_prometheus",
     "prometheus_name",
+    "escape_help",
     "chrome_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
+    # cross-process aggregation
+    "TelemetrySnapshot",
+    "capture_telemetry",
+    "apply_telemetry",
+    # flight recorder
+    "FlightRecorder",
+    "DEFAULT_TRIGGER_KINDS",
+    "flight_recorder",
+    "enable_flight_recorder",
+    "disable_flight_recorder",
+    # ops server
+    "OpsServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "start_ops_server",
+    "stop_ops_server",
+    "active_ops_server",
+    "mark_ready",
     # events
     "EVENT_KINDS",
     "PipelineEvent",

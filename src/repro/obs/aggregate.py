@@ -1,0 +1,120 @@
+"""Cross-process telemetry aggregation: the worker-boundary contract.
+
+A worker that cannot share memory with its parent (a
+``ProcessPoolExecutor`` worker, a remote shard) still has to deliver its
+telemetry.  The contract is one serializable bundle per worker:
+
+* **metrics** — the worker records into a *fresh*
+  :class:`~repro.obs.metrics.MetricsRegistry` (installed for its item loop
+  via :func:`~repro.obs.metrics.scoped_metrics`); its ``snapshot()`` is a
+  delta from zero that the parent folds in with
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` — an
+  associative, commutative merge, so deltas may arrive in any order;
+* **spans** — the worker's :class:`~repro.obs.trace.TraceCollector`
+  contents, re-identified on arrival by
+  :meth:`~repro.obs.trace.TraceCollector.add_batch`;
+* **events** — the worker's :class:`~repro.obs.events.EventLog` contents,
+  re-sequenced onto the parent bus by
+  :meth:`~repro.obs.events.EventBus.relay`.
+
+:class:`TelemetrySnapshot` carries all three across the boundary as plain
+dicts (JSON- and pickle-safe); :func:`capture_telemetry` builds one on the
+worker side and :func:`apply_telemetry` folds it in on the parent side.
+The thread-pool shard boundary in :mod:`repro.serving.pool` already runs
+the metrics half of this contract today, so the ROADMAP's process-parallel
+executor only has to swap the transport, not the semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.events import EventBus, EventLog, PipelineEvent
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.trace import TraceCollector
+
+
+@dataclass(slots=True)
+class TelemetrySnapshot:
+    """One worker's telemetry delta, as plain serializable dicts."""
+
+    #: Identifies the producing worker (``"shard-3"``, ``"pid-4711"``).
+    source: str | None = None
+    metrics: MetricsSnapshot = field(default_factory=dict)
+    spans: list[dict[str, object]] = field(default_factory=list)
+    events: list[dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "source": self.source,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "TelemetrySnapshot":
+        return cls(
+            source=None if data.get("source") is None else str(data["source"]),
+            metrics=dict(data.get("metrics") or {}),  # type: ignore[arg-type]
+            spans=list(data.get("spans") or []),  # type: ignore[arg-type]
+            events=list(data.get("events") or []),  # type: ignore[arg-type]
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TelemetrySnapshot":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.metrics or self.spans or self.events)
+
+
+def capture_telemetry(
+    *,
+    registry: MetricsRegistry | None = None,
+    collector: TraceCollector | None = None,
+    events: EventLog | list[PipelineEvent] | None = None,
+    source: str | None = None,
+) -> TelemetrySnapshot:
+    """Bundle a worker's sinks into one shippable snapshot.
+
+    Every input is optional — a worker that only records metrics ships a
+    metrics-only bundle.  The sinks are not cleared; the caller owns their
+    lifecycle (fresh sinks per delta window is the intended shape).
+    """
+    event_list = list(events) if events is not None else []
+    return TelemetrySnapshot(
+        source=source,
+        metrics=registry.snapshot() if registry is not None else {},
+        spans=collector.to_dicts() if collector is not None else [],
+        events=[event.to_dict() for event in event_list],
+    )
+
+
+def apply_telemetry(
+    snapshot: TelemetrySnapshot | dict[str, object],
+    *,
+    registry: MetricsRegistry | None = None,
+    collector: TraceCollector | None = None,
+    bus: EventBus | None = None,
+) -> TelemetrySnapshot:
+    """Fold a worker's snapshot into the parent-side sinks.
+
+    Only the sinks that are passed receive their half of the bundle, so a
+    parent that does not trace simply drops the span batch.  Returns the
+    (normalized) snapshot so callers can log what arrived.
+    """
+    if not isinstance(snapshot, TelemetrySnapshot):
+        snapshot = TelemetrySnapshot.from_dict(snapshot)
+    if registry is not None and snapshot.metrics:
+        registry.merge_snapshot(snapshot.metrics)
+    if collector is not None and snapshot.spans:
+        collector.add_batch(snapshot.spans)
+    if bus is not None and snapshot.events:
+        bus.relay(snapshot.events, source=snapshot.source)
+    return snapshot

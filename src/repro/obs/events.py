@@ -74,6 +74,21 @@ class PipelineEvent:
             "payload": dict(self.payload),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "PipelineEvent":
+        """Rebuild an event serialized by :meth:`to_dict` (worker relays)."""
+        return cls(
+            seq=int(data["seq"]),  # type: ignore[arg-type]
+            ts_s=float(data["ts_s"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            stage=None if data.get("stage") is None else str(data["stage"]),
+            trajectory_id=(
+                None if data.get("trajectory_id") is None
+                else str(data["trajectory_id"])
+            ),
+            payload=dict(data.get("payload") or {}),  # type: ignore[arg-type]
+        )
+
 
 Subscriber = Callable[[PipelineEvent], None]
 
@@ -125,13 +140,70 @@ class EventBus:
                 self._seq, time.perf_counter(), kind, stage, trajectory_id, payload
             )
             subscribers = list(self._subscribers)
+        self._deliver(event, subscribers)
+        return event
+
+    def _deliver(self, event: PipelineEvent, subscribers: list[Subscriber]) -> None:
+        """Fan *event* out, isolating each subscriber's failures.
+
+        One raising subscriber must neither abort the emitting pipeline
+        nor starve the subscribers after it; every failure is counted in
+        :attr:`errors` and the ``obs.events.subscriber_errors`` counter so
+        a silently broken sink still shows up on the ops surface.
+        """
         for subscriber in subscribers:
             try:
                 subscriber(event)
             except Exception:
                 with self._lock:
                     self.errors += 1
-        return event
+                # Imported lazily: repro.obs.metrics must stay importable
+                # without this module, and the counter is only needed on
+                # the (rare) failure path.
+                from repro.obs.metrics import metrics
+
+                metrics().counter("obs.events.subscriber_errors").inc()
+
+    def relay(
+        self, events, *, source: str | None = None
+    ) -> list[PipelineEvent]:
+        """Re-emit events recorded on another bus (the relay contract).
+
+        The event half of the cross-process telemetry contract: a worker
+        ships ``[event.to_dict() for event in log]`` and the parent folds
+        them onto its own bus here.  Each event is **re-sequenced** on
+        this bus (its original ``seq``/``ts_s`` come from another process'
+        timeline and are preserved in the payload as ``relay_seq`` /
+        ``relay_ts_s``); *source* tags the payload as ``relay_source`` so
+        consumers can tell worker streams apart.  Unknown kinds raise, as
+        in :meth:`emit` — relaying cannot fork the closed vocabulary.
+        """
+        out: list[PipelineEvent] = []
+        for data in events:
+            incoming = (
+                data if isinstance(data, PipelineEvent)
+                else PipelineEvent.from_dict(data)
+            )
+            if incoming.kind not in EVENT_KINDS:
+                raise ValueError(
+                    f"unknown event kind {incoming.kind!r}; expected one of "
+                    f"{sorted(EVENT_KINDS)}"
+                )
+            payload = dict(incoming.payload)
+            payload["relay_seq"] = incoming.seq
+            payload["relay_ts_s"] = incoming.ts_s
+            if source is not None:
+                payload["relay_source"] = source
+            with self._lock:
+                self._seq += 1
+                event = PipelineEvent(
+                    self._seq, time.perf_counter(), incoming.kind,
+                    incoming.stage, incoming.trajectory_id, payload,
+                )
+                subscribers = list(self._subscribers)
+            self._deliver(event, subscribers)
+            out.append(event)
+        return out
 
 
 class EventLog:

@@ -42,6 +42,16 @@ def prometheus_name(name: str) -> str:
     return out
 
 
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the exposition format.
+
+    The format allows any UTF-8 in HELP but requires ``\\`` as ``\\\\``
+    and line feeds as ``\\n`` — otherwise a multi-line help text would be
+    parsed as (invalid) sample lines.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: float) -> str:
     value = float(value)
     if math.isnan(value):
@@ -61,22 +71,35 @@ def render_prometheus(registry: MetricsRegistry | NullMetrics) -> str:
     Counters gain the conventional ``_total`` suffix; histograms emit
     cumulative ``_bucket{le="..."}`` series (our per-bucket counts are
     disjoint, so they are accumulated here) plus ``_sum`` and ``_count``.
+    HELP text (the original dotted series name) is escaped per the format.
+    Two registry names that sanitize to the same Prometheus identifier
+    would produce an exposition scrapers reject, so that raises instead.
     Ends with a trailing newline, as the format requires.
     """
     lines: list[str] = []
+    seen: dict[str, str] = {}
     for name, data in registry.snapshot().items():
         pname = prometheus_name(name)
         kind = data["type"]
+        exported = f"{pname}_total" if kind == "counter" else pname
+        clash = seen.get(exported)
+        if clash is not None:
+            raise ValueError(
+                f"series {name!r} and {clash!r} both export as {exported!r}; "
+                f"rename one — duplicate families are invalid exposition"
+            )
+        seen[exported] = name
+        help_text = escape_help(name)
         if kind == "counter":
-            lines.append(f"# HELP {pname}_total {name}")
+            lines.append(f"# HELP {pname}_total {help_text}")
             lines.append(f"# TYPE {pname}_total counter")
             lines.append(f"{pname}_total {_format_value(data['value'])}")
         elif kind == "gauge":
-            lines.append(f"# HELP {pname} {name}")
+            lines.append(f"# HELP {pname} {help_text}")
             lines.append(f"# TYPE {pname} gauge")
             lines.append(f"{pname} {_format_value(data['value'])}")
         elif kind == "histogram":
-            lines.append(f"# HELP {pname} {name}")
+            lines.append(f"# HELP {pname} {help_text}")
             lines.append(f"# TYPE {pname} histogram")
             cumulative = 0
             for label, count in data["buckets"].items():
@@ -94,6 +117,104 @@ def write_prometheus(registry: MetricsRegistry | NullMetrics, path) -> None:
     """Write the text exposition to *path* (textfile-collector style)."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(render_prometheus(registry))
+
+
+_NAME_GRAMMAR = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_sample_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)  # raises on garbage, which is the point
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, object]]:
+    """Parse text exposition back into families (the round-trip check).
+
+    A deliberately strict reader of the subset :func:`render_prometheus`
+    emits — used by the regression tests and the ops-surface integration
+    test to prove the endpoint output actually parses.  Returns
+    ``{family: {"type", "help", "samples": [(name, labels, value)]}}``
+    where *labels* is a (possibly empty) dict.  Raises ``ValueError`` on
+    any malformed line, unknown sample name, or non-cumulative histogram
+    buckets.
+    """
+    families: dict[str, dict[str, object]] = {}
+
+    def family_of(sample_name: str) -> dict[str, object] | None:
+        for suffix in ("", "_bucket", "_sum", "_count"):
+            base = sample_name[: len(sample_name) - len(suffix)] if suffix else sample_name
+            if suffix and not sample_name.endswith(suffix):
+                continue
+            if base in families:
+                return families[base]
+        return None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank line inside exposition")
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            keyword, rest = line[2:6], line[7:]
+            name, _, detail = rest.partition(" ")
+            if not _NAME_GRAMMAR.match(name):
+                raise ValueError(f"line {lineno}: invalid family name {name!r}")
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if keyword == "HELP":
+                family["help"] = detail.replace("\\n", "\n").replace("\\\\", "\\")
+            else:
+                if detail not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: unknown TYPE {detail!r}")
+                family["type"] = detail
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        sample_name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            labels = {key: value for key, value in _LABEL.findall(match.group("labels"))}
+        value = _parse_sample_value(match.group("value"))
+        family = family_of(sample_name)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no HELP/TYPE family"
+            )
+        family["samples"].append((sample_name, labels, value))  # type: ignore[union-attr]
+
+    for name, family in families.items():
+        if family["type"] == "histogram":
+            buckets = [
+                (labels.get("le"), value)
+                for sample_name, labels, value in family["samples"]  # type: ignore[union-attr]
+                if sample_name.endswith("_bucket")
+            ]
+            counts = [value for _, value in buckets]
+            if counts != sorted(counts):
+                raise ValueError(f"family {name!r}: bucket counts not cumulative")
+            if buckets and buckets[-1][0] != "+Inf":
+                raise ValueError(f"family {name!r}: last bucket must be le=\"+Inf\"")
+            count_samples = [
+                value
+                for sample_name, _, value in family["samples"]  # type: ignore[union-attr]
+                if sample_name.endswith("_count")
+            ]
+            if buckets and count_samples and buckets[-1][1] != count_samples[0]:
+                raise ValueError(
+                    f"family {name!r}: le=\"+Inf\" bucket != _count"
+                )
+    return families
 
 
 def chrome_trace_events(collector: TraceCollector) -> list[dict[str, object]]:

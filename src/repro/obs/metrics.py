@@ -20,9 +20,11 @@ Series names follow ``<stage>.<quantity>[_<unit>]`` — see
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import threading
+from contextvars import ContextVar
 
 #: Default histogram bucket upper bounds — tuned for millisecond latencies
 #: and small counts alike (a value lands in the first bucket whose bound
@@ -30,6 +32,21 @@ import threading
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, math.inf,
 )
+
+#: A registry snapshot: plain JSON-serializable dicts, one per series, as
+#: produced by :meth:`MetricsRegistry.snapshot` and consumed by
+#: :meth:`MetricsRegistry.merge_snapshot`.  A snapshot taken from a fresh
+#: registry *is* a delta from zero — the cross-process telemetry contract
+#: is "worker records into a fresh registry, ships ``snapshot()``, parent
+#: calls ``merge_snapshot()``".
+MetricsSnapshot = dict[str, dict[str, object]]
+
+
+def _bounds_from_labels(labels) -> tuple[float, ...]:
+    """Recover histogram bucket bounds from their snapshot labels."""
+    return tuple(
+        math.inf if label == "+inf" else float(label) for label in labels
+    )
 
 
 class Counter:
@@ -183,6 +200,39 @@ class Histogram:
             for bound, count in zip(self.buckets, counts)
         }
 
+    def merge_dict(self, data: dict[str, object]) -> None:
+        """Fold another histogram's snapshot dict into this one.
+
+        The donor must share this histogram's bucket bounds (merging
+        incompatible layouts would silently misplace observations, so it
+        raises instead).  Counts and sums add, min/max take the extremes —
+        an associative, commutative fold, which is what lets per-worker
+        deltas arrive in any order and any grouping.
+        """
+        buckets: dict[str, int] = data["buckets"]  # type: ignore[assignment]
+        bounds = _bounds_from_labels(buckets.keys())
+        if bounds != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge bucket layout "
+                f"{bounds} into {self.buckets}"
+            )
+        count = int(data["count"])  # type: ignore[arg-type]
+        if count == 0:
+            return
+        total = float(data["sum"])  # type: ignore[arg-type]
+        lo = float(data["min"])  # type: ignore[arg-type]
+        hi = float(data["max"])  # type: ignore[arg-type]
+        incoming = list(buckets.values())
+        with self._lock:
+            self.count += count
+            self.sum += total
+            if lo < self.min:
+                self.min = lo
+            if hi > self.max:
+                self.max = hi
+            for i, c in enumerate(incoming):
+                self._counts[i] += c
+
     def to_dict(self) -> dict[str, object]:
         # One snapshot for the whole dict, so count/sum/percentiles/buckets
         # describe the same moment even while workers keep observing.
@@ -249,9 +299,49 @@ class MetricsRegistry:
         with self._lock:
             return len(self._metrics)
 
+    # -- cross-process aggregation ---------------------------------------------
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot *delta* into this registry.
+
+        The contract for crossing a worker boundary (a shard thread today,
+        a ``ProcessPoolExecutor`` worker tomorrow): the worker records into
+        a **fresh** registry, serializes ``snapshot()`` (plain dicts, so it
+        survives JSON or pickle), and the parent merges it here.  The fold
+        is associative and commutative — per-worker deltas may arrive in
+        any order and any grouping and the result is the same registry a
+        serial run would have produced:
+
+        * **counters** add;
+        * **histograms** add bucket-wise (sum/count accumulate, min/max
+          take the extremes) — bucket layouts must match;
+        * **gauges** add as *signed offsets*.  A fresh worker registry's
+          gauge value is its offset from zero, so disjointly-named gauges
+          (the ``serving.shard.<id>.*`` convention) merge exactly; a gauge
+          written by several workers under one name sums, which is why
+          shared last-write-wins gauges (pool size, live rates) must be
+          written on the parent registry, not inside the worker delta.
+
+        Thread-safe: concurrent merges interleave per-series but never
+        tear an individual counter/histogram update.
+        """
+        for name, data in snapshot.items():
+            kind = data["type"]
+            if kind == "counter":
+                self.counter(name).inc(float(data["value"]))  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name).inc(float(data["value"]))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                bounds = _bounds_from_labels(data["buckets"].keys())  # type: ignore[union-attr]
+                self.histogram(name, bounds).merge_dict(data)
+            else:
+                raise ValueError(
+                    f"unknown metric type {kind!r} for series {name!r}"
+                )
+
     # -- reporting ------------------------------------------------------------
 
-    def snapshot(self) -> dict[str, dict[str, object]]:
+    def snapshot(self) -> MetricsSnapshot:
         """All series as plain dicts, sorted by name (JSON-serializable)."""
         with self._lock:
             items = sorted(self._metrics.items())
@@ -325,10 +415,43 @@ NULL_METRICS = NullMetrics()
 
 _active: MetricsRegistry | NullMetrics = NULL_METRICS
 
+#: Context-local registry override.  A worker that must keep its telemetry
+#: separable (a shard thread recording a mergeable delta) installs its own
+#: registry here via :func:`scoped_metrics`; new threads and tasks start
+#: with the default ``None`` and fall through to the process-wide sink.
+_scoped: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_scoped_metrics", default=None
+)
+
 
 def metrics() -> MetricsRegistry | NullMetrics:
-    """The active registry — the no-op singleton unless enabled."""
+    """The active registry — the no-op singleton unless enabled.
+
+    A :func:`scoped_metrics` override on the current thread/task wins over
+    the process-wide registry; instrumented call sites need not know
+    whether they run serially or inside an isolated worker.
+    """
+    scoped = _scoped.get()
+    if scoped is not None:
+        return scoped
     return _active
+
+
+@contextlib.contextmanager
+def scoped_metrics(registry: MetricsRegistry):
+    """Route this thread/task's ``metrics()`` calls into *registry*.
+
+    The isolation half of the worker-delta contract: wrap the worker's
+    item loop, then ship ``registry.snapshot()`` across the boundary and
+    :meth:`MetricsRegistry.merge_snapshot` it into the parent.  The
+    override is a ``ContextVar``, so sibling workers and the main thread
+    are unaffected.
+    """
+    token = _scoped.set(registry)
+    try:
+        yield registry
+    finally:
+        _scoped.reset(token)
 
 
 def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:

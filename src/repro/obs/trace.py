@@ -66,6 +66,25 @@ class SpanRecord:
             "thread_id": self.thread_id,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "SpanRecord":
+        """Rebuild a record serialized by :meth:`to_dict` (worker relays)."""
+        return cls(
+            span_id=int(data["span_id"]),  # type: ignore[arg-type]
+            parent_id=(
+                None if data.get("parent_id") is None
+                else int(data["parent_id"])  # type: ignore[arg-type]
+            ),
+            name=str(data["name"]),
+            start_s=float(data["start_s"]),  # type: ignore[arg-type]
+            duration_ms=float(data["duration_ms"]),  # type: ignore[arg-type]
+            status=str(data["status"]),
+            error=None if data.get("error") is None else str(data["error"]),
+            depth=int(data.get("depth", 0)),  # type: ignore[arg-type]
+            tags=dict(data.get("tags") or {}),  # type: ignore[arg-type]
+            thread_id=int(data.get("thread_id", 0)),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class StageTotal:
@@ -112,6 +131,50 @@ class TraceCollector:
         """A snapshot copy of the finished spans, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    def add_batch(self, records) -> int:
+        """Merge a batch of spans from another collector into this one.
+
+        The span half of the cross-process telemetry contract: a worker
+        ships ``collector.to_dicts()`` (or the records themselves) and the
+        parent folds them in here.  Span ids are **reassigned** from this
+        collector's sequence so batches from many workers never collide;
+        parent links *within* the batch are remapped to the new ids, while
+        parents outside the batch (a worker-side root that was not
+        shipped) become ``None``.  Returns how many spans were added; the
+        ``max_spans`` cap applies and drops are counted as usual.
+        """
+        batch = [
+            record if isinstance(record, SpanRecord) else SpanRecord.from_dict(record)
+            for record in records
+        ]
+        id_map: dict[int, int] = {}
+        added = 0
+        for record in batch:
+            id_map[record.span_id] = self.next_span_id()
+        for record in batch:
+            remapped = SpanRecord(
+                span_id=id_map[record.span_id],
+                parent_id=(
+                    id_map.get(record.parent_id)
+                    if record.parent_id is not None else None
+                ),
+                name=record.name,
+                start_s=record.start_s,
+                duration_ms=record.duration_ms,
+                status=record.status,
+                error=record.error,
+                depth=record.depth,
+                tags=dict(record.tags),
+                thread_id=record.thread_id,
+            )
+            with self._lock:
+                if self.max_spans is not None and len(self._spans) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                self._spans.append(remapped)
+                added += 1
+        return added
 
     def by_name(self, name: str) -> list[SpanRecord]:
         return [s for s in self.spans() if s.name == name]

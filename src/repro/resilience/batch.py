@@ -94,6 +94,19 @@ class BatchProgress:
     def percent(self) -> float:
         return 100.0 * self.done / self.total if self.total else 100.0
 
+    def to_dict(self) -> dict[str, object]:
+        """The snapshot as a plain dict — the ``progress`` event payload."""
+        return {
+            "done": self.done,
+            "total": self.total,
+            "ok": self.ok,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "elapsed_s": self.elapsed_s,
+            "items_per_s": self.items_per_s,
+            "eta_s": self.eta_s,
+        }
+
     def describe(self) -> str:
         """A one-line human-readable progress report."""
         eta = f"eta {self.eta_s:.0f}s" if self.eta_s is not None else "eta -"

@@ -33,6 +33,7 @@ profile.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import threading
 import time
@@ -40,7 +41,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.exceptions import ConfigError
-from repro.obs import emit_event, metrics, span
+from repro.obs import emit_event, metrics, metrics_enabled, span
+from repro.obs.metrics import MetricsRegistry, scoped_metrics
 from repro.resilience import (
     BatchProgress,
     BatchResult,
@@ -68,6 +70,11 @@ class _ProgressBoard:
         self._total = total
         self._progress = progress
         self._started = time.perf_counter()
+        # Live rates are shared last-write-wins gauges, so they must land
+        # on the batch-wide registry even when the calling worker thread
+        # has a shard-local scoped registry installed — capture it now, on
+        # the coordinating thread, before any shard scope exists.
+        self._metrics = metrics()
         self.done = 0
         self.ok = 0
         self.quarantined = 0
@@ -87,18 +94,15 @@ class _ProgressBoard:
         elapsed = time.perf_counter() - self._started
         rate = done / elapsed if elapsed > 0.0 else 0.0
         eta = (self._total - done) / rate if rate > 0.0 else None
-        m = metrics()
-        m.gauge("resilience.batch.items_per_s").set(rate)
+        self._metrics.gauge("resilience.batch.items_per_s").set(rate)
         if eta is not None:
-            m.gauge("resilience.batch.eta_s").set(eta)
-        emit_event(
-            "progress", done=done, total=self._total, ok=ok,
-            quarantined=quarantined, items_per_s=rate, eta_s=eta,
+            self._metrics.gauge("resilience.batch.eta_s").set(eta)
+        snapshot = BatchProgress(
+            done, self._total, ok, quarantined, retries, elapsed, rate, eta,
         )
+        emit_event("progress", **snapshot.to_dict())
         if self._progress is not None:
-            self._progress(BatchProgress(
-                done, self._total, ok, quarantined, retries, elapsed, rate, eta,
-            ))
+            self._progress(snapshot)
 
 
 def run_sharded(
@@ -159,20 +163,35 @@ def run_sharded(
         shard_started = time.perf_counter()
         outcomes: list[ItemOutcome] = []
         ok = quarantined = 0
+        # The cross-process telemetry contract, run at the thread boundary
+        # today: each shard's item loop records counters/histograms into
+        # its own fresh registry, and the delta is merged into the shared
+        # registry when the shard ends.  A ProcessPoolExecutor worker will
+        # ship the same snapshot over pickle instead of sharing memory —
+        # same semantics, different transport (see repro.obs.aggregate).
+        shard_registry = MetricsRegistry() if metrics_enabled() else None
+        shard_scope = (
+            scoped_metrics(shard_registry)
+            if shard_registry is not None
+            else contextlib.nullcontext()
+        )
         with span("shard", shard_id=shard.shard_id, items=len(shard)):
-            for index in shard.indices:
-                outcome = stmaker._summarize_item(
-                    index, items[index], k=k,
-                    sanitize=sanitize, sanitizer_config=sanitizer_config,
-                    strict=strict, retry=retry, deadline=deadline,
-                    sleeper=sleeper,
-                )
-                outcomes.append(outcome)
-                if outcome.summary is not None:
-                    ok += 1
-                else:
-                    quarantined += 1
-                board.note(outcome)
+            with shard_scope:
+                for index in shard.indices:
+                    outcome = stmaker._summarize_item(
+                        index, items[index], k=k,
+                        sanitize=sanitize, sanitizer_config=sanitizer_config,
+                        strict=strict, retry=retry, deadline=deadline,
+                        sleeper=sleeper,
+                    )
+                    outcomes.append(outcome)
+                    if outcome.summary is not None:
+                        ok += 1
+                    else:
+                        quarantined += 1
+                    board.note(outcome)
+        if shard_registry is not None:
+            m.merge_snapshot(shard_registry.snapshot())
         duration_ms = (time.perf_counter() - shard_started) * 1000.0
         rate = len(shard) / (duration_ms / 1000.0) if duration_ms > 0.0 else 0.0
         prefix = f"serving.shard.{shard.shard_id}"

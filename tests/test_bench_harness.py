@@ -178,3 +178,73 @@ class TestBaselineAndGate:
             results, self._baseline({"x": 10.0}, tolerance=50.0), tolerance_pct=5.0
         )
         assert finding["status"] == "regressed"
+
+
+class TestTrendGate:
+    def _history(self, medians):
+        """One smoke-mode history record per median value for benchmark x."""
+        return [
+            {"mode": "smoke", "results": {"x": {"median_ms": m}}}
+            for m in medians
+        ]
+
+    def test_load_history_filters_mode_and_skips_garbage(self, harness, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps({"mode": "smoke", "results": {}}) + "\n"
+            "not json at all\n"
+            + json.dumps({"mode": "obs_baseline", "results": {}}) + "\n"
+            "\n"
+            + json.dumps({"mode": "smoke", "results": {"x": {"median_ms": 1.0}}})
+            + "\n",
+            encoding="utf-8",
+        )
+        records = harness.load_history(path, mode="smoke")
+        assert len(records) == 2
+        assert records[1]["results"]["x"]["median_ms"] == 1.0
+        assert len(harness.load_history(path, mode=None)) == 3
+
+    def test_load_history_missing_file_is_empty(self, harness, tmp_path):
+        assert harness.load_history(tmp_path / "absent.jsonl") == []
+
+    def test_trend_is_median_of_window(self, harness):
+        # last-5 window over medians [10, 10, 10, 10, 100]: trend = 10,
+        # so a 10.5 ms run is within the default tolerance even though
+        # one historical run was wildly noisy.
+        results = {"x": harness.stats_from_samples("x", [10.5])}
+        history = self._history([10.0, 10.0, 10.0, 10.0, 100.0])
+        [finding] = harness.check_trend(results, history, window=5)
+        assert finding["status"] == "ok"
+        assert finding["trend_ms"] == 10.0
+        assert finding["window"] == 5
+
+    def test_regression_beyond_tolerance(self, harness):
+        results = {"x": harness.stats_from_samples("x", [20.0])}
+        [finding] = harness.check_trend(
+            results, self._history([10.0, 10.0, 10.0]), window=5,
+            tolerance_pct=25.0,
+        )
+        assert finding["status"] == "regressed"
+        assert finding["delta_pct"] == pytest.approx(100.0)
+
+    def test_window_limits_lookback(self, harness):
+        # Old slow runs fall outside the window: trend over the last 2
+        # medians [1, 1] flags a 2 ms run that the full history would not.
+        results = {"x": harness.stats_from_samples("x", [2.0])}
+        history = self._history([50.0, 50.0, 1.0, 1.0])
+        [finding] = harness.check_trend(results, history, window=2)
+        assert finding["status"] == "regressed"
+        assert finding["trend_ms"] == 1.0
+
+    def test_fewer_than_two_priors_is_new(self, harness):
+        results = {"x": harness.stats_from_samples("x", [5.0])}
+        [finding] = harness.check_trend(results, self._history([10.0]), window=5)
+        assert finding["status"] == "new"
+        assert finding["trend_ms"] is None and finding["window"] == 1
+
+    def test_benchmark_absent_from_history_is_new(self, harness):
+        results = {"y": harness.stats_from_samples("y", [5.0])}
+        [finding] = harness.check_trend(
+            results, self._history([10.0, 10.0, 10.0]), window=5
+        )
+        assert finding["status"] == "new" and finding["window"] == 0

@@ -271,6 +271,122 @@ class TestExporters:
         assert "items/s" in captured.err
 
 
+class TestOpsSurface:
+    def test_ops_flags_parse(self):
+        args = build_parser().parse_args([
+            "summarize", "x.csv", "--ops-port", "0", "--flight-dir", "fl",
+        ])
+        assert args.ops_port == 0
+        assert args.flight_dir == "fl"
+        args = build_parser().parse_args(["demo"])
+        assert args.ops_port is None and args.flight_dir is None
+
+    def test_ops_serve_parser_defaults(self):
+        args = build_parser().parse_args(["ops-serve"])
+        assert args.port == 0
+        assert args.trips == 5
+        assert args.duration is None
+        assert args.interval == 1.0
+
+    def test_summarize_with_ops_port_serves_and_tears_down(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import urllib.request
+
+        from repro import obs
+        from repro.cli import _cmd_summarize
+
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        trip = scenario.simulate_trip(depart_time=10 * 3600.0)
+        csv_path = tmp_path / "trip.csv"
+        write_trajectory_csv(trip.raw, csv_path)
+        scraped = {}
+        original = _cmd_summarize
+
+        def probing(args):
+            # The server is up before the command body runs; scrape now.
+            server = obs.active_ops_server()
+            assert server is not None
+            scraped["healthz"] = urllib.request.urlopen(
+                server.url + "/healthz", timeout=5.0
+            ).status
+            code = original(args)
+            # mark_ready() ran after the model build inside the command.
+            scraped["readyz"] = urllib.request.urlopen(
+                server.url + "/readyz", timeout=5.0
+            ).status
+            body = urllib.request.urlopen(
+                server.url + "/metrics", timeout=5.0
+            ).read().decode("utf-8")
+            scraped["families"] = obs.parse_prometheus(body)
+            return code
+
+        monkeypatch.setattr("repro.cli._cmd_summarize", probing)
+        # parser binds func=_cmd_summarize at build time, so go through a
+        # rebuilt parser rather than main()'s default wiring
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "--training", "40", "summarize", str(csv_path), "--ops-port", "0",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert scraped["healthz"] == 200
+        assert scraped["readyz"] == 200
+        assert "summarize_calls_total" in scraped["families"]
+        assert obs.active_ops_server() is None, "server torn down after the run"
+
+    def test_ops_serve_loop_runs_batches(self, capsys):
+        from repro import obs
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "--training", "40", "ops-serve",
+            "--duration", "0.1", "--interval", "0", "--trips", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ops surface listening on" in captured.err
+        assert "served" in captured.err and "batch(es)" in captured.err
+        assert obs.active_ops_server() is None
+        assert not obs.metrics_enabled() and not obs.events_enabled()
+
+    def test_flight_dir_dumps_on_quarantine(self, tmp_path, capsys):
+        from repro.trajectory import RawTrajectory, TrajectoryPoint
+
+        scenario = CityScenario.build(ScenarioConfig(seed=7, n_training_trips=40))
+        projector = scenario.network.projector
+        off_map = RawTrajectory(
+            [
+                TrajectoryPoint(
+                    projector.to_point(90_000.0 + i * 50.0, 90_000.0), i * 5.0
+                )
+                for i in range(20)
+            ],
+            "offmap",
+        )
+        csv_path = tmp_path / "offmap.csv"
+        write_trajectory_csv(off_map, csv_path)
+        flight_dir = tmp_path / "flight"
+        code = main([
+            "--training", "40", "summarize", str(csv_path),
+            "--flight-dir", str(flight_dir),
+        ])
+        capsys.readouterr()
+        assert code == 1, "the quarantine still fails the command"
+        dumps = list(flight_dir.glob("flight-*.jsonl"))
+        assert dumps, "the quarantine left a flight-recorder dump"
+        import json
+
+        records = [json.loads(line) for line in dumps[0].read_text().splitlines()]
+        assert records[0]["record"] == "flight"
+        kinds = {r["kind"] for r in records if r["record"] == "event"}
+        assert "quarantine" in kinds
+        from repro import obs
+
+        assert obs.flight_recorder() is None, "recorder disabled after the run"
+
+
 class TestReportCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["report"])

@@ -283,6 +283,18 @@ class TestHistogramPercentiles:
         data = h.to_dict()
         assert data["p50"] is None and data["p95"] is None and data["p99"] is None
 
+    def test_empty_histogram_is_none_at_the_bounds_too(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("pb", buckets=(1.0, 10.0))
+        assert h.percentile(0.0) is None
+        assert h.percentile(1.0) is None
+
+    def test_invalid_q_raises_even_when_empty(self):
+        registry = obs.enable_metrics()
+        h = registry.histogram("pe", buckets=(1.0,))
+        with pytest.raises(ValueError, match="quantile"):
+            h.percentile(2.0)
+
     def test_single_observation_is_exact(self):
         registry = obs.enable_metrics()
         h = registry.histogram("one", buckets=(1.0, 10.0))

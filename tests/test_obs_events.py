@@ -67,6 +67,46 @@ class TestEventBus:
         assert bus.errors == 1
         assert len(log) == 1, "later subscribers still receive the event"
 
+    def test_raising_subscriber_does_not_abort_the_pipeline(self, scenario):
+        """Regression: a broken sink on the live bus must not take down a
+        summarize call, and every drop lands on the error counter."""
+        registry = obs.enable_metrics()
+        bus = obs.enable_events()
+
+        def broken(event: PipelineEvent) -> None:
+            raise RuntimeError("sink died mid-run")
+
+        log = EventLog()
+        bus.subscribe(broken)
+        bus.subscribe(log)
+        rng = np.random.default_rng(77)
+        trip = scenario.simulate_trips(1, depart_time=9 * 3600.0, rng=rng)[0]
+        summary = scenario.stmaker.summarize(trip.raw, k=2)  # must not raise
+        assert summary.text
+        assert len(log) > 0, "healthy subscribers keep receiving events"
+        assert bus.errors == len(log), "broken sink failed on every event"
+        errors = registry.snapshot()["obs.events.subscriber_errors"]
+        assert errors["value"] == float(bus.errors)
+
+    def test_every_subscriber_isolated_not_just_the_first(self):
+        bus = EventBus()
+        order: list[str] = []
+
+        def broken_a(event):
+            order.append("a")
+            raise RuntimeError("a died")
+
+        def broken_b(event):
+            order.append("b")
+            raise RuntimeError("b died")
+
+        bus.subscribe(broken_a)
+        bus.subscribe(broken_b)
+        bus.subscribe(lambda e: order.append("c"))
+        bus.emit("retry")
+        assert order == ["a", "b", "c"]
+        assert bus.errors == 2
+
     def test_concurrent_emission_is_sequenced(self):
         bus = EventBus()
         log = EventLog()

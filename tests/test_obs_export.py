@@ -99,6 +99,96 @@ class TestPrometheusExposition:
         obs.write_prometheus(registry, path)
         assert "x_total 1" in path.read_text()
 
+    def test_help_text_is_escaped(self):
+        from repro.obs.export import escape_help
+
+        assert escape_help("a\\b") == "a\\\\b"
+        assert escape_help("line1\nline2") == "line1\\nline2"
+        registry = obs.enable_metrics()
+        registry.counter("weird\nname.calls").inc()
+        text = obs.render_prometheus(registry)
+        for line in text.splitlines():
+            assert "\r" not in line
+            if line.startswith("# HELP"):
+                assert "\\n" in line, "newline in the series name is escaped"
+        obs.parse_prometheus(text)  # and the result still parses
+
+    def test_sanitization_collision_raises(self):
+        registry = obs.enable_metrics()
+        registry.counter("a.calls").inc()
+        registry.counter("a_calls").inc()  # both sanitize to a_calls_total
+        with pytest.raises(ValueError, match="both export as"):
+            obs.render_prometheus(registry)
+
+
+class TestPrometheusParserRoundtrip:
+    def _populated_registry(self):
+        registry = obs.enable_metrics()
+        registry.counter("summarize.calls").inc(3)
+        registry.gauge("pool.size").set(7.5)
+        registry.gauge("drift").set(-2.25)
+        h = registry.histogram("summarize.latency_ms", buckets=(1.0, 5.0, 10.0))
+        for v in (0.4, 2.0, 7.0, 50.0):
+            h.observe(v)
+        return registry
+
+    def test_roundtrip_preserves_families_and_values(self):
+        registry = self._populated_registry()
+        families = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert families["summarize_calls_total"]["type"] == "counter"
+        assert families["summarize_calls_total"]["help"] == "summarize.calls"
+        [(_, _, calls)] = families["summarize_calls_total"]["samples"]
+        assert calls == 3.0
+        [(_, _, size)] = families["pool_size"]["samples"]
+        assert size == 7.5
+        hist = families["summarize_latency_ms"]
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        }
+        assert buckets == {"1": 1.0, "5": 2.0, "10": 3.0, "+Inf": 4.0}
+        count = [v for n, _, v in hist["samples"] if n.endswith("_count")]
+        assert count == [4.0]
+
+    def test_parser_rejects_malformed_input(self):
+        with pytest.raises(ValueError, match="no HELP/TYPE family"):
+            obs.parse_prometheus("orphan_sample 1\n")
+        with pytest.raises(ValueError, match="blank line"):
+            obs.parse_prometheus("# HELP a a\n\n# TYPE a counter\n")
+        with pytest.raises(ValueError, match="unknown TYPE"):
+            obs.parse_prometheus("# TYPE a widget\n")
+        with pytest.raises(ValueError, match="unparseable sample"):
+            obs.parse_prometheus("# HELP a a\n# TYPE a counter\nnot a sample!\n")
+        with pytest.raises(ValueError, match="could not convert"):
+            obs.parse_prometheus("# HELP a a\n# TYPE a counter\na one\n")
+
+    def test_parser_rejects_non_cumulative_buckets(self):
+        bad = (
+            "# HELP h h\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            obs.parse_prometheus(bad)
+
+    def test_parser_rejects_inf_bucket_count_mismatch(self):
+        bad = (
+            "# HELP h h\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            obs.parse_prometheus(bad)
+
+    def test_empty_exposition_parses_to_nothing(self):
+        assert obs.parse_prometheus("") == {}
+
 
 class TestChromeTrace:
     def _collect(self):

@@ -18,11 +18,21 @@ Every benchmark in this repo funnels through the same measurement core:
   non-zero with ``--gate``) when a median regresses, but hardware varies,
   so the default is to report, not to block.
 
-Run directly for the smoke suite::
+Two built-in suites share the machinery:
+
+* ``--smoke`` (default) — small end-to-end pipeline workloads;
+* ``--figures`` — miniature versions of the per-figure experiment
+  runners behind ``benchmarks/bench_fig*.py``, so a perf regression in
+  any figure pipeline trips the same history/trend gate without anyone
+  re-running the full figure harness.  Each suite records history under
+  its own ``mode``, so trends never mix the two.
+
+Run directly::
 
     PYTHONPATH=src python benchmarks/harness.py --smoke
+    PYTHONPATH=src python benchmarks/harness.py --figures
     PYTHONPATH=src python benchmarks/harness.py --smoke --update-baseline
-    PYTHONPATH=src python benchmarks/harness.py --smoke --gate   # exit 1 on regress
+    PYTHONPATH=src python benchmarks/harness.py --smoke --gate  # exit 1 on regress
 """
 
 from __future__ import annotations
@@ -367,11 +377,81 @@ def smoke_suite(training: int = 40, trips: int = 8) -> dict[str, Callable[[], ob
     }
 
 
+# -- figures suite ------------------------------------------------------------
+
+
+def figures_suite(training: int = 40) -> dict[str, Callable[[], object]]:
+    """Miniature versions of the per-figure experiment workloads.
+
+    Each callable drives the same :mod:`repro.experiments.runners`
+    function that the corresponding ``benchmarks/bench_fig*.py`` pytest
+    benchmark wraps, at sizes small enough for CI (seconds, not minutes).
+    The point is coverage, not fidelity: a regression anywhere in a
+    figure's pipeline — feature frequency, user study grading, sweep
+    loops — moves its median here and trips the history/trend gate long
+    before anyone reruns the full figure harness.  Samples are per work
+    unit (trips summarized, or sweep cells), like the smoke suite.
+    """
+    from repro.experiments import runners
+    from repro.simulate import CityScenario, ScenarioConfig
+
+    scenario = CityScenario.build(
+        ScenarioConfig(seed=7, n_training_trips=training)
+    )
+
+    def case_study() -> int:
+        runners.run_case_study(scenario, ks=(1, 2, 3))
+        return 3
+
+    def time_of_day() -> int:
+        runners.run_time_of_day(scenario, trips_per_bin=2)
+        return 24  # 12 bins x 2 trips
+
+    def landmark_usage() -> int:
+        runners.run_landmark_usage(scenario, n_trips=10)
+        return 10
+
+    def feature_weight() -> int:
+        runners.run_feature_weight_sweep(
+            scenario, weights=(0.5, 2.0), n_trips=6
+        )
+        return 12  # 2 weights x 6 trips
+
+    def partition_size() -> int:
+        runners.run_partition_size_sweep(scenario, ks=(1, 3), n_trips=6)
+        return 12  # 2 ks x 6 trips
+
+    def user_study() -> int:
+        runners.run_user_study_experiment(
+            scenario, n_summaries=12, n_readers=5
+        )
+        return 12
+
+    def efficiency() -> int:
+        runners.run_efficiency(scenario, n_trips=8, ks=(1, 3))
+        return 8
+
+    return {
+        "figures.fig06_case_study_per_k_ms": case_study,
+        "figures.fig08_time_of_day_per_trip_ms": time_of_day,
+        "figures.fig09_landmark_usage_per_trip_ms": landmark_usage,
+        "figures.fig10a_feature_weight_per_cell_ms": feature_weight,
+        "figures.fig10b_partition_size_per_cell_ms": partition_size,
+        "figures.fig11_user_study_per_summary_ms": user_study,
+        "figures.fig12_efficiency_per_trip_ms": efficiency,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
-        help="run the small CI suite (currently the only built-in suite)",
+        help="run the small end-to-end CI suite (the default)",
+    )
+    parser.add_argument(
+        "--figures", action="store_true",
+        help="run miniature per-figure experiment workloads (combinable "
+        "with --smoke; each suite keeps its own history mode)",
     )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--warmup", type=int, default=1)
@@ -399,7 +479,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    suite = smoke_suite(training=args.training, trips=args.trips)
+    run_smoke = args.smoke or not args.figures
+    suite: dict[str, Callable[[], object]] = {}
+    if run_smoke:
+        suite.update(smoke_suite(training=args.training, trips=args.trips))
+    if args.figures:
+        suite.update(figures_suite(training=args.training))
+    # History records are tagged by suite so trends compare like with like.
+    mode = "+".join(
+        name for name, on in (("smoke", run_smoke), ("figures", args.figures)) if on
+    )
     results: dict[str, BenchStats] = {}
     for name, fn in suite.items():
         results[name] = measure(
@@ -433,7 +522,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.trend_window > 0:
         # Judge against the recent history trend, not just the committed
         # one-shot baseline — the history file persists across CI runs.
-        history = load_history(args.history, mode="smoke")
+        history = load_history(args.history, mode=mode)
         trend_findings = check_trend(
             results, history, window=args.trend_window
         )
@@ -468,7 +557,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.no_history:
         append_history(
-            results, path=args.history,
+            results, path=args.history, mode=mode,
             gate=findings + trend_findings,
         )
         print(f"history appended to {args.history}", file=sys.stderr)

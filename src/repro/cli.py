@@ -5,8 +5,9 @@ prints its summaries at several granularities (the Fig. 6 experience);
 ``stmaker summarize`` runs the pipeline on a user-supplied CSV trajectory
 recorded inside the synthetic city (with ``--sanitize``/``--strict``/
 ``--max-retries``/``--deadline`` resilience controls — see
-``docs/ROBUSTNESS.md`` — and ``--workers``/``--shard-size`` sharded
-serving controls — see ``docs/SERVING.md``); ``stmaker experiment``
+``docs/ROBUSTNESS.md`` — and ``--workers``/``--shard-size``/
+``--executor`` sharded serving controls — see ``docs/SERVING.md``);
+``stmaker experiment``
 regenerates any of the paper's evaluation figures from the command line;
 ``stmaker report`` summarizes a batch of simulated trips (optionally on
 the worker pool) and writes a joined :class:`~repro.obs.RunReport`
@@ -80,11 +81,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import save_stmaker
+    from repro.artifact import save_artifact
 
     scenario = _build_scenario(args.seed, args.training)
-    save_stmaker(scenario.stmaker, args.out)
-    print(f"trained model written to {args.out}")
+    info = save_artifact(scenario.stmaker, args.out, format=args.format)
+    print(
+        f"trained model written to {info.path} "
+        f"({info.format}, {info.size_bytes} bytes, "
+        f"fingerprint {info.fingerprint[:16]})"
+    )
     return 0
 
 
@@ -146,6 +151,14 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             deadline_s=args.deadline,
             progress=_progress_printer() if args.progress else None,
             workers=args.workers, shard_size=args.shard_size,
+            executor=args.executor,
+            # A process pool can serve straight from the file the model
+            # was loaded from instead of re-publishing it.
+            artifact=(
+                args.model
+                if args.executor == "process" and args.model
+                else None
+            ),
         )
         if args.report_out:
             _write_run_report(args, batches=[result])
@@ -186,6 +199,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         trips, k=args.k,
         progress=_progress_printer() if args.progress else None,
         workers=args.workers, shard_size=args.shard_size,
+        executor=args.executor,
     )
     report = obs.build_run_report(
         batches=[result], registry=registry, collector=collector
@@ -230,7 +244,7 @@ def _cmd_ops_serve(args: argparse.Namespace) -> int:
                 for i in range(args.trips)
             ]
             result = scenario.stmaker.summarize_many(
-                trips, k=args.k, workers=args.workers
+                trips, k=args.k, workers=args.workers, executor=args.executor,
             )
             batch += 1
             logger.info(
@@ -376,9 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser(
         "train", parents=[obs_flags],
-        help="train a model and save it to JSON",
+        help="train a model and save it as a city-model artifact",
     )
     train.add_argument("--out", default="stmaker-model.json", help="output path")
+    train.add_argument(
+        "--format", choices=["json", "binary"], default=None,
+        help="artifact codec (default: by extension — *.json is JSON, "
+        "anything else the compact binary format)",
+    )
     train.set_defaults(func=_cmd_train)
 
     summ = sub.add_parser(
@@ -411,11 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
     serving = summ.add_argument_group("serving")
     serving.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="worker threads for the sharded batch pool (default: 1, serial)",
+        help="workers for the sharded batch pool (default: 1, serial)",
     )
     serving.add_argument(
         "--shard-size", type=int, default=None, metavar="N",
         help="items per shard (forces the pool even with --workers 1)",
+    )
+    serving.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="pool backend: 'thread' shares the model's memory, 'process' "
+        "breaks the GIL by serving shards from a city-model artifact "
+        "(reuses --model when given; default: thread)",
     )
     summ.add_argument(
         "--progress", action="store_true",
@@ -446,11 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("-k", type=int, default=None, help="partition count")
     rep.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="worker threads for the sharded batch pool (default: 1, serial)",
+        help="workers for the sharded batch pool (default: 1, serial)",
     )
     rep.add_argument(
         "--shard-size", type=int, default=None, metavar="N",
         help="items per shard (forces the pool even with --workers 1)",
+    )
+    rep.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="pool backend for the batch (default: thread)",
     )
     rep.add_argument(
         "--out", metavar="PREFIX", default="run-report",
@@ -477,7 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
     ops.add_argument("-k", type=int, default=None, help="partition count")
     ops.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="worker threads for each batch (default: 1, serial)",
+        help="workers for each batch (default: 1, serial)",
+    )
+    ops.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="pool backend for each batch (default: thread)",
     )
     ops.add_argument(
         "--interval", type=float, default=1.0, metavar="SECONDS",

@@ -3,7 +3,13 @@
 Training an STMaker means calibrating a trajectory corpus into a transfer
 network and a historical feature map — work worth doing once.  This module
 bundles everything a summarizer needs (road network, scored landmarks,
-transfer network, feature map, configuration) into a single JSON file.
+transfer network, feature map, configuration) into a single versioned
+dict, and :func:`save_stmaker`/:func:`load_stmaker` write/read it through
+the artifact layer (:mod:`repro.artifact`): crash-safe atomic writes, a
+content fingerprint, and a choice of the legacy JSON format or a compact
+binary format (pickle protocol 5 of the same dict).  The codec is picked
+by file extension (``*.json`` → JSON) or forced with ``format=``; loads
+sniff the file, so callers never need to know which codec wrote it.
 
 Custom feature *definitions* carry Python callables and cannot be
 serialized; only their keys are stored, and :func:`load_stmaker` takes an
@@ -13,7 +19,6 @@ extensions.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.core.config import SummarizerConfig
@@ -82,14 +87,27 @@ def stmaker_from_dict(
     )
 
 
-def save_stmaker(stmaker: STMaker, path: str | Path) -> None:
-    """Write a trained STMaker to *path* as JSON."""
-    Path(path).write_text(json.dumps(stmaker_to_dict(stmaker)), encoding="utf-8")
+def save_stmaker(
+    stmaker: STMaker, path: str | Path, *, format: str | None = None
+) -> None:
+    """Write a trained STMaker to *path* (atomically, fingerprinted).
+
+    *format* is ``"json"`` or ``"binary"``; by default ``*.json`` paths
+    get JSON and everything else the binary codec.  The write goes to a
+    temp file in the destination directory and is renamed into place, so
+    a crash mid-write leaves *path* absent or intact, never corrupt.
+    """
+    # Imported lazily: repro.artifact imports this module at its top level.
+    from repro.artifact import save_artifact
+
+    save_artifact(stmaker, path, format=format)
 
 
 def load_stmaker(
     path: str | Path, registry: FeatureRegistry | None = None
 ) -> STMaker:
-    """Read a trained STMaker written by :func:`save_stmaker`."""
-    data = json.loads(Path(path).read_text(encoding="utf-8"))
-    return stmaker_from_dict(data, registry=registry)
+    """Read a trained STMaker written by :func:`save_stmaker` (either codec)."""
+    from repro.artifact import load_artifact
+
+    stmaker, _ = load_artifact(path, registry=registry)
+    return stmaker

@@ -187,13 +187,18 @@ class STMaker:
         """A sibling STMaker sharing all trained state but using *config*.
 
         Cheap: the historical structures are shared, not copied.  Used by
-        the parameter-sweep experiments (Fig. 10).
+        the parameter-sweep experiments (Fig. 10).  An installed
+        ``fault_injector`` carries over too (shared, not copied — fire
+        counters stay global across siblings), so chaos armed on a model
+        is not silently disarmed by a config sweep.
         """
-        return STMaker(
+        sibling = STMaker(
             self.network, self.landmarks, self.transfers, self.feature_map,
             config=config, registry=self.registry, calibrator=self.calibrator,
             pipeline=self.pipeline,
         )
+        sibling.fault_injector = self.fault_injector
+        return sibling
 
     # -- summarization ---------------------------------------------------------------
 
@@ -291,6 +296,8 @@ class STMaker:
         workers: int = 1,
         shard_size: int | None = None,
         shard_mode: str = "balanced",
+        executor: str = "thread",
+        artifact: "str | None" = None,
     ) -> BatchResult:
         """Summarize a batch with per-item error isolation.
 
@@ -308,8 +315,16 @@ class STMaker:
         pool: element-wise identical results in input order, but each
         shard gets its own full ``deadline_s`` budget and runs
         concurrently.  ``shard_mode`` is one of
-        :data:`repro.serving.SHARD_MODES`.  The default ``workers=1`` with
-        no ``shard_size`` is the serial loop below, unchanged.
+        :data:`repro.serving.SHARD_MODES` and ``executor`` one of
+        :data:`repro.serving.EXECUTORS`: ``"thread"`` (default; shares
+        this model's memory, best for latency-bound work) or
+        ``"process"`` (true multi-core for the pure-Python CPU-bound
+        pipeline; workers rebuild the model from a city-model artifact —
+        pass ``artifact=`` a path saved with
+        :func:`repro.artifact.save_artifact` to reuse a published file,
+        or leave it ``None`` to auto-publish this model to a session
+        temp artifact).  The default ``workers=1`` with no
+        ``shard_size`` is the serial loop below, unchanged.
 
         A ``progress`` callback receives a :class:`BatchProgress` snapshot
         after every item; the live rate and ETA are also mirrored into the
@@ -328,6 +343,7 @@ class STMaker:
                 strict=strict, retry=retry, deadline_s=deadline_s,
                 sleeper=sleeper, progress=progress,
                 workers=workers, shard_size=shard_size, shard_mode=shard_mode,
+                executor=executor, artifact=artifact,
             )
         retry = retry or RetryPolicy()
         deadline = Deadline(deadline_s)

@@ -65,6 +65,18 @@ class ConfigError(ReproError):
     """Raised for invalid configuration values."""
 
 
+class ArtifactError(ReproError):
+    """Raised for unusable city-model artifacts.
+
+    Covers unreadable files, unknown magic/format versions, and content
+    fingerprints that do not match the payload (truncated or tampered
+    files).  A crash *during* :func:`repro.artifact.save_artifact` never
+    produces one of these for the target path — writes are atomic
+    (temp file + rename), so the target is either absent, the previous
+    version, or the complete new version.
+    """
+
+
 class ServingError(ReproError):
     """Raised when the sharded serving layer violates an invariant.
 

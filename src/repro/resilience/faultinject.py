@@ -74,12 +74,24 @@ class FaultInjector:
     ) -> None:
         self._specs = list(specs)
         self._remaining = [spec.times for spec in self._specs]
+        self.seed = seed
         self._rng = random.Random(seed)
         self._sleeper = sleeper
         self._fired: dict[str, int] = {}
         # Shared injectors get hit concurrently by serving pool workers;
         # the counters must not lose updates (the stress suite checks).
         self._lock = threading.Lock()
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """The armed specs, as configured (fire counts are not reflected).
+
+        Together with :attr:`seed` this is everything needed to rebuild an
+        equivalent injector elsewhere — e.g. inside a process-pool worker,
+        where the injector itself cannot travel (it holds a lock and
+        possibly an unpicklable sleeper).
+        """
+        return tuple(self._specs)
 
     @classmethod
     def raising(

@@ -7,9 +7,14 @@ without changing semantics:
 
 * :mod:`~repro.serving.sharder` — partition a batch into shards
   (balanced / round-robin / stable key-hashed);
-* :mod:`~repro.serving.pool` — run shards on a thread pool with per-shard
+* :mod:`~repro.serving.pool` — run shards on a worker pool with per-shard
   deadline budgets, shared retry policy, and live progress
   (:func:`run_sharded`, plus the ``await``-able :func:`run_sharded_async`);
+* :mod:`~repro.serving.executor` — the ``executor="process"`` backend:
+  shards ship to :class:`~concurrent.futures.ProcessPoolExecutor` workers
+  as :class:`ShardTask` s carrying a city-model **artifact reference**
+  (:mod:`repro.artifact`) instead of the model itself, and come back as
+  :class:`ShardResult` s carrying their telemetry snapshot;
 * :mod:`~repro.serving.ordering` — reassemble per-item outcomes into
   input order regardless of completion order (:func:`reassemble`).
 
@@ -17,19 +22,30 @@ The contract — **parallel ≡ serial** — is pinned by the differential and
 property suites (``tests/test_serving_*.py``): ``summarize_many(workers=4)``
 returns element-wise identical summaries, degradation reports, quarantine
 entries and sanitization reports to ``workers=1``, including under
-deterministic fault injection.  See ``docs/SERVING.md``.
+deterministic fault injection — for the thread executor *and* the process
+executor.  See ``docs/SERVING.md``.
 """
 
+from repro.serving.executor import (
+    EXECUTORS,
+    ShardResult,
+    ShardTask,
+    run_shard_in_process,
+)
 from repro.serving.ordering import reassemble
 from repro.serving.pool import run_sharded, run_sharded_async
 from repro.serving.sharder import SHARD_MODES, Shard, plan_shards, stable_key_hash
 
 __all__ = [
+    "EXECUTORS",
     "SHARD_MODES",
     "Shard",
+    "ShardResult",
+    "ShardTask",
     "plan_shards",
-    "stable_key_hash",
-    "reassemble",
+    "run_shard_in_process",
     "run_sharded",
     "run_sharded_async",
+    "reassemble",
+    "stable_key_hash",
 ]

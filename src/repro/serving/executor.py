@@ -1,0 +1,310 @@
+"""Process-backed shard execution over a city-model artifact.
+
+The thread pool in :mod:`repro.serving.pool` shares the trained model's
+memory but serializes pure-Python stages on the GIL; this module is the
+``executor="process"`` backend that breaks it.  The division of labour:
+
+* the **parent** (``prepare_process_batch``) publishes the model as a
+  binary city-model artifact (:func:`repro.artifact.ensure_artifact` when
+  no explicit path is given), validates that everything crossing the
+  boundary pickles, and packs each shard into a :class:`ShardTask` —
+  item slices, batch options, the artifact reference
+  ``(path, fingerprint)``, the fault-injector recipe, and which
+  telemetry sinks the parent has enabled;
+* each **worker process** (:func:`run_shard_in_process`) resets any
+  obs state inherited over ``fork`` (an inherited JSONL sink would
+  double-write the parent's file), installs fresh sinks, rebuilds the
+  STMaker once per process via :func:`repro.artifact.cached_stmaker`,
+  and runs the shard through the same ``STMaker._summarize_item`` path
+  the serial loop and the thread pool use;
+* the worker returns a :class:`ShardResult`: the outcomes plus a
+  :class:`~repro.obs.TelemetrySnapshot` (metrics delta, span batch,
+  event list) that the parent folds back with
+  :func:`repro.obs.apply_telemetry` — counters add up, spans graft into
+  the parent trace, events are relayed with their worker source tagged.
+
+Start method: ``fork`` when the parent is single-threaded (cheapest, and
+the pool's worker processes are forked before its manager thread starts),
+``forkserver`` once any other thread is alive (forking a multi-threaded
+parent is unsafe and deprecated in CPython 3.12+ — this covers
+:func:`repro.serving.pool.run_sharded_async`, which calls in from an
+executor thread).  Override with ``REPRO_MP_START_METHOD``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exceptions import ConfigError
+from repro.features import default_registry
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    TelemetrySnapshot,
+    TraceCollector,
+    capture_telemetry,
+    disable_events,
+    disable_metrics,
+    disable_tracing,
+    emit_event,
+    enable_events,
+    enable_metrics,
+    enable_tracing,
+    events_enabled,
+    metrics_enabled,
+    span,
+    tracing_enabled,
+)
+from repro.resilience import Deadline, ItemOutcome, RetryPolicy
+from repro.resilience.faultinject import FaultInjector, FaultSpec
+from repro.serving.sharder import Shard
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.summarizer import STMaker
+    from repro.trajectory import RawTrajectory, SanitizerConfig
+
+#: Supported ``executor=`` values for sharded serving.
+EXECUTORS = ("thread", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """Everything one worker process needs to serve one shard.
+
+    Deliberately model-free: the trained state travels as an artifact
+    reference, not as pickled objects, so N tasks cost N small pickles
+    plus one artifact load per worker process (the per-process cache in
+    :mod:`repro.artifact` collapses repeats).
+    """
+
+    shard_id: int
+    indices: tuple[int, ...]
+    items: tuple["RawTrajectory", ...]
+    artifact_path: str
+    fingerprint: str
+    k: int | None
+    sanitize: bool
+    sanitizer_config: "SanitizerConfig | None"
+    strict: bool
+    retry: RetryPolicy
+    deadline_s: float | None
+    sleeper: Callable[[float], None] | None  # None = time.sleep
+    fault_specs: tuple[FaultSpec, ...] = ()
+    fault_seed: int = 0
+    want_metrics: bool = False
+    want_spans: bool = False
+    want_events: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ShardResult:
+    """One served shard: ordered outcomes plus the worker's telemetry."""
+
+    shard_id: int
+    outcomes: tuple[ItemOutcome, ...]
+    ok: int
+    quarantined: int
+    duration_ms: float
+    items_per_s: float
+    telemetry: TelemetrySnapshot | None = None
+
+
+def _default_feature_keys() -> frozenset[str]:
+    return frozenset(default_registry(include_speed_change=True).keys())
+
+
+def check_process_compatible(
+    stmaker: "STMaker", sleeper: Callable[[float], None]
+) -> None:
+    """Fail fast on state that cannot cross the process boundary.
+
+    Two things cannot ship: custom feature extractors (code, not data —
+    the artifact stores only their keys) and unpicklable sleepers
+    (lambdas/closures).  Both raise :class:`~repro.exceptions.ConfigError`
+    here, in the parent, instead of a cryptic pickling error from the
+    pool's feeder thread.
+    """
+    custom = [
+        key for key in stmaker.registry.keys()
+        if key not in _default_feature_keys()
+    ]
+    if custom:
+        raise ConfigError(
+            f"executor='process' cannot ship custom feature definitions "
+            f"{custom} to worker processes (they are code, not data); "
+            "use executor='thread' for models with registry extensions"
+        )
+    if sleeper is not time.sleep:
+        try:
+            pickle.dumps(sleeper)
+        except Exception as exc:
+            raise ConfigError(
+                "executor='process' requires a picklable sleeper "
+                f"(module-level function), got {sleeper!r}: {exc}"
+            ) from exc
+
+
+def build_shard_tasks(
+    stmaker: "STMaker",
+    shards: Sequence[Shard],
+    items: Sequence["RawTrajectory"],
+    *,
+    artifact_path: str,
+    fingerprint: str,
+    k: int | None,
+    sanitize: bool,
+    sanitizer_config: "SanitizerConfig | None",
+    strict: bool,
+    retry: RetryPolicy,
+    deadline_s: float | None,
+    sleeper: Callable[[float], None],
+) -> list[ShardTask]:
+    """Pack *shards* into self-contained :class:`ShardTask` s.
+
+    The installed fault injector (if any) travels as its recipe —
+    ``(specs, seed)`` — and every worker arms a fresh injector from it;
+    see ``docs/SERVING.md`` for what that means for bounded
+    (``times=N``) specs under process parallelism.
+    """
+    injector = stmaker.fault_injector
+    fault_specs: tuple[FaultSpec, ...] = ()
+    fault_seed = 0
+    if injector is not None:
+        fault_specs = injector.specs
+        fault_seed = injector.seed
+    want_metrics = metrics_enabled()
+    want_spans = tracing_enabled()
+    want_events = events_enabled()
+    return [
+        ShardTask(
+            shard_id=shard.shard_id,
+            indices=tuple(shard.indices),
+            items=tuple(items[index] for index in shard.indices),
+            artifact_path=artifact_path,
+            fingerprint=fingerprint,
+            k=k,
+            sanitize=sanitize,
+            sanitizer_config=sanitizer_config,
+            strict=strict,
+            retry=retry,
+            deadline_s=deadline_s,
+            sleeper=None if sleeper is time.sleep else sleeper,
+            fault_specs=fault_specs,
+            fault_seed=fault_seed,
+            want_metrics=want_metrics,
+            want_spans=want_spans,
+            want_events=want_events,
+        )
+        for shard in shards
+    ]
+
+
+def _reset_inherited_obs() -> None:
+    """Drop obs state a ``fork``-started worker inherited from the parent.
+
+    The parent's bus may carry subscribers with open file descriptors
+    (JSONL sinks, the ops server's flight recorder): letting them run in
+    the worker would interleave writes into the parent's files.  The
+    sinks are dropped, not closed — the descriptors still belong to the
+    parent process.
+    """
+    disable_metrics()
+    disable_tracing()
+    disable_events()
+
+
+def run_shard_in_process(task: ShardTask) -> ShardResult:
+    """Worker-process entry point: serve one shard against the artifact.
+
+    Mirrors the thread pool's ``run_shard`` telemetry contract — the item
+    loop records into a fresh registry whose delta ships home in the
+    result, ``shard_start``/``shard_end`` bracket the shard on the event
+    stream, and the whole shard runs under a ``"shard"`` span — so the
+    differential suite can hold process mode to the same merged-telemetry
+    invariants as thread mode.  In ``strict`` mode the first item error
+    propagates (pickled) to the parent, matching the serial contract.
+    """
+    from repro.artifact import cached_stmaker
+
+    _reset_inherited_obs()
+    registry = enable_metrics(MetricsRegistry()) if task.want_metrics else None
+    collector = enable_tracing(TraceCollector()) if task.want_spans else None
+    log: EventLog | None = None
+    if task.want_events:
+        log = EventLog()
+        enable_events().subscribe(log)
+    try:
+        stmaker = cached_stmaker(task.artifact_path, task.fingerprint)
+        if task.fault_specs:
+            # A fresh injector per shard: deterministic per-shard seeding,
+            # no cross-process counter to reconcile.
+            stmaker = stmaker.with_config(stmaker.config)
+            stmaker.fault_injector = FaultInjector(
+                task.fault_specs, seed=task.fault_seed
+            )
+        sleeper = task.sleeper if task.sleeper is not None else time.sleep
+        deadline = Deadline(task.deadline_s)
+        emit_event("shard_start", shard_id=task.shard_id, items=len(task.items))
+        started = time.perf_counter()
+        outcomes: list[ItemOutcome] = []
+        ok = quarantined = 0
+        with span("shard", shard_id=task.shard_id, items=len(task.items)):
+            for index, raw in zip(task.indices, task.items):
+                outcome = stmaker._summarize_item(
+                    index, raw, k=task.k,
+                    sanitize=task.sanitize,
+                    sanitizer_config=task.sanitizer_config,
+                    strict=task.strict, retry=task.retry,
+                    deadline=deadline, sleeper=sleeper,
+                )
+                outcomes.append(outcome)
+                if outcome.summary is not None:
+                    ok += 1
+                else:
+                    quarantined += 1
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        rate = (
+            len(task.items) / (duration_ms / 1000.0) if duration_ms > 0.0 else 0.0
+        )
+        emit_event(
+            "shard_end", shard_id=task.shard_id, items=len(task.items),
+            ok=ok, quarantined=quarantined,
+            duration_ms=duration_ms, items_per_s=rate,
+        )
+        telemetry = None
+        if registry is not None or collector is not None or log is not None:
+            telemetry = capture_telemetry(
+                registry=registry, collector=collector, events=log,
+                source=f"shard-{task.shard_id}",
+            )
+        return ShardResult(
+            shard_id=task.shard_id,
+            outcomes=tuple(outcomes),
+            ok=ok,
+            quarantined=quarantined,
+            duration_ms=duration_ms,
+            items_per_s=rate,
+            telemetry=telemetry,
+        )
+    finally:
+        _reset_inherited_obs()
+
+
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context serving should launch workers with."""
+    method = os.environ.get("REPRO_MP_START_METHOD")
+    if not method:
+        if sys.platform == "win32":  # pragma: no cover - not our CI
+            method = "spawn"
+        elif threading.active_count() > 1:
+            method = "forkserver"
+        else:
+            method = "fork"
+    return multiprocessing.get_context(method)

@@ -21,13 +21,21 @@ gauges (the run report's per-shard breakdown), and keeps the serial path's
 ``batch_start``/``progress``/``batch_end`` stream intact, so dashboards
 built on the serial vocabulary keep working.
 
-Threads, not processes: trajectory summarization shares large read-only
-trained state (landmark index, transfer network, feature map) that
-threads get for free.  Pure-Python stages serialize on the GIL, so the
-wall-clock win comes from overlapping the *blocking* portions of item
-latency (storage, map-service calls, injected chaos latency) — the shape
-production serving has.  See ``docs/SERVING.md`` for the measured scaling
-profile.
+Two executors (``executor=``), one contract:
+
+* ``"thread"`` (default) — workers share the trained model's memory for
+  free.  Pure-Python stages serialize on the GIL, so the wall-clock win
+  comes from overlapping the *blocking* portions of item latency
+  (storage, map-service calls, injected chaos latency) — the shape
+  latency-bound production serving has.
+* ``"process"`` — true multi-core for the CPU-bound pure-Python
+  pipeline.  Workers rebuild the model from a versioned **city-model
+  artifact** (:mod:`repro.artifact`; auto-published to a session temp
+  file when no ``artifact=`` path is given) and ship their telemetry
+  home as a :class:`~repro.obs.TelemetrySnapshot` that the parent merges
+  (see :mod:`repro.serving.executor`).
+
+See ``docs/SERVING.md`` for the measured scaling profile of both.
 """
 
 from __future__ import annotations
@@ -37,11 +45,19 @@ import contextlib
 import functools
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.exceptions import ConfigError
-from repro.obs import emit_event, metrics, metrics_enabled, span
+from repro.obs import (
+    apply_telemetry,
+    emit_event,
+    events,
+    get_collector,
+    metrics,
+    metrics_enabled,
+    span,
+)
 from repro.obs.metrics import MetricsRegistry, scoped_metrics
 from repro.resilience import (
     BatchProgress,
@@ -49,6 +65,14 @@ from repro.resilience import (
     Deadline,
     ItemOutcome,
     RetryPolicy,
+)
+from repro.serving.executor import (
+    EXECUTORS,
+    ShardResult,
+    build_shard_tasks,
+    check_process_compatible,
+    mp_context,
+    run_shard_in_process,
 )
 from repro.serving.ordering import reassemble
 from repro.serving.sharder import Shard, plan_shards
@@ -121,17 +145,35 @@ def run_sharded(
     shard_size: int | None = None,
     shard_mode: str = "balanced",
     shard_key: Callable[["RawTrajectory"], str] | None = None,
+    executor: str = "thread",
+    artifact: str | None = None,
 ) -> BatchResult:
-    """Summarize *items* on a pool of *workers* threads, shard by shard.
+    """Summarize *items* on a pool of *workers*, shard by shard.
 
     Semantics match ``summarize_many(workers=1)`` element-wise — same
     summaries, same degradation reports, same quarantine entries, in the
-    same input order (the differential suite pins this).  The only
-    intentional divergence is the deadline: each shard gets the full
-    ``deadline_s`` budget instead of the whole batch sharing one clock.
+    same input order (the differential suite pins this, for both
+    executors).  The only intentional divergence is the deadline: each
+    shard gets the full ``deadline_s`` budget instead of the whole batch
+    sharing one clock.
+
+    With ``executor="process"``, workers rebuild the model from the
+    city-model artifact at *artifact* (which must hold the same trained
+    state as *stmaker* for parallel ≡ serial to hold; when ``None`` the
+    model is auto-published with :func:`repro.artifact.ensure_artifact`).
+    Worker telemetry arrives as merged metric deltas, grafted spans, and
+    relayed events — same totals as thread mode, but per-item events
+    surface when each shard completes rather than live, and relayed
+    events carry ``relay_*`` provenance keys.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    if executor not in EXECUTORS:
+        raise ConfigError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    if artifact is not None and executor != "process":
+        raise ConfigError("artifact= is only used with executor='process'")
     items = list(items)
     retry = retry or RetryPolicy()
     keys = None
@@ -210,16 +252,25 @@ def run_sharded(
     all_outcomes: list[ItemOutcome] = []
     with span(
         "summarize_many", items=len(items), k=k,
-        workers=workers, shards=len(shards),
+        workers=workers, shards=len(shards), executor=executor,
     ) as sp:
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-serving"
-        ) as pool:
-            # In strict mode a worker raises; .result() re-raises the first
-            # failure here after the executor drains, matching the serial
-            # loop's raise-on-first-error contract.
-            for outcomes in pool.map(run_shard, shards):
-                all_outcomes.extend(outcomes)
+        if executor == "process":
+            all_outcomes = _run_shards_in_processes(
+                stmaker, shards, items,
+                artifact=artifact, k=k,
+                sanitize=sanitize, sanitizer_config=sanitizer_config,
+                strict=strict, retry=retry, deadline_s=deadline_s,
+                sleeper=sleeper, workers=workers, board=board, m=m,
+            )
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serving"
+            ) as pool:
+                # In strict mode a worker raises; .result() re-raises the
+                # first failure here after the executor drains, matching
+                # the serial loop's raise-on-first-error contract.
+                for outcomes in pool.map(run_shard, shards):
+                    all_outcomes.extend(outcomes)
         result = reassemble(all_outcomes, len(items))
         sp.set_tag("ok", result.ok_count)
         sp.set_tag("quarantined", result.quarantined_count)
@@ -230,6 +281,82 @@ def run_sharded(
         shards=len(shards),
     )
     return result
+
+
+def _fold_shard_result(
+    sr: ShardResult, board: _ProgressBoard, m
+) -> None:
+    """Merge one worker's ShardResult into the parent-side sinks.
+
+    The parent-side half of the telemetry contract: the worker's metric
+    delta merges into the live registry, its span batch grafts into the
+    live collector, its events relay onto the live bus, and the
+    ``serving.shard.<id>.*`` gauges are set here (gauges are last-write-
+    wins state, so they must be *set* parent-side, not merged as
+    offsets) — exactly where thread-mode shards set them.
+    """
+    if sr.telemetry is not None:
+        apply_telemetry(
+            sr.telemetry,
+            registry=m if metrics_enabled() else None,
+            collector=get_collector(),
+            bus=events(),
+        )
+    prefix = f"serving.shard.{sr.shard_id}"
+    m.gauge(f"{prefix}.items").set(len(sr.outcomes))
+    m.gauge(f"{prefix}.ok").set(sr.ok)
+    m.gauge(f"{prefix}.quarantined").set(sr.quarantined)
+    m.gauge(f"{prefix}.duration_ms").set(sr.duration_ms)
+    m.gauge(f"{prefix}.items_per_s").set(sr.items_per_s)
+    for outcome in sr.outcomes:
+        board.note(outcome)
+
+
+def _run_shards_in_processes(
+    stmaker: "STMaker",
+    shards: Sequence[Shard],
+    items: Sequence["RawTrajectory"],
+    *,
+    artifact: str | None,
+    k: int | None,
+    sanitize: bool,
+    sanitizer_config: "SanitizerConfig | None",
+    strict: bool,
+    retry: RetryPolicy,
+    deadline_s: float | None,
+    sleeper: Callable[[float], None],
+    workers: int,
+    board: _ProgressBoard,
+    m,
+) -> list[ItemOutcome]:
+    """Serve *shards* on a ProcessPoolExecutor against an artifact.
+
+    Futures are drained in submission order, so strict mode re-raises the
+    first failure in shard order — the same contract as thread mode's
+    ``pool.map``.  Shards completing out of order are still folded in
+    deterministic shard order; :func:`reassemble` restores item order
+    either way.
+    """
+    from repro.artifact import artifact_info, ensure_artifact
+
+    check_process_compatible(stmaker, sleeper)
+    info = artifact_info(artifact) if artifact is not None else ensure_artifact(stmaker)
+    tasks = build_shard_tasks(
+        stmaker, shards, items,
+        artifact_path=info.path, fingerprint=info.fingerprint,
+        k=k, sanitize=sanitize, sanitizer_config=sanitizer_config,
+        strict=strict, retry=retry, deadline_s=deadline_s, sleeper=sleeper,
+    )
+    all_outcomes: list[ItemOutcome] = []
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context()
+    ) as pool:
+        futures = [pool.submit(run_shard_in_process, task) for task in tasks]
+        for future in futures:
+            sr = future.result()
+            _fold_shard_result(sr, board, m)
+            all_outcomes.extend(sr.outcomes)
+    return all_outcomes
 
 
 async def run_sharded_async(

@@ -3,7 +3,8 @@
 benchmarks/ is not a package, so the module is loaded straight from its
 file path — the same way the record_* scripts find it (script dir on
 ``sys.path``).  The statistical core, history, and regression gate run on
-synthetic callables; nothing here builds a scenario.
+synthetic callables; only the figures-suite execution test builds a
+(small) scenario.
 """
 
 from __future__ import annotations
@@ -248,3 +249,55 @@ class TestTrendGate:
             results, self._history([10.0, 10.0, 10.0]), window=5
         )
         assert finding["status"] == "new" and finding["window"] == 0
+
+
+class TestSuites:
+    def test_figures_suite_covers_every_figure_workload(self, harness):
+        """Every per-figure runner is wrapped, and each workload really
+        runs end to end at the miniature sizes, reporting its work units."""
+        suite = harness.figures_suite(training=25)
+        assert set(suite) == {
+            "figures.fig06_case_study_per_k_ms",
+            "figures.fig08_time_of_day_per_trip_ms",
+            "figures.fig09_landmark_usage_per_trip_ms",
+            "figures.fig10a_feature_weight_per_cell_ms",
+            "figures.fig10b_partition_size_per_cell_ms",
+            "figures.fig11_user_study_per_summary_ms",
+            "figures.fig12_efficiency_per_trip_ms",
+        }
+        for name, fn in suite.items():
+            units = fn()
+            assert isinstance(units, int) and units > 0, name
+
+    def test_main_tags_history_with_the_selected_suites(
+        self, harness, tmp_path, monkeypatch
+    ):
+        """--smoke / --figures select suites and stamp the history mode,
+        so the trend gate never compares one suite against the other."""
+
+        def fake_suite(tag):
+            return lambda **kwargs: {f"{tag}.x_ms": lambda: 1}
+
+        monkeypatch.setattr(harness, "smoke_suite", fake_suite("smoke"))
+        monkeypatch.setattr(harness, "figures_suite", fake_suite("figures"))
+        history = tmp_path / "history.jsonl"
+        common = [
+            "--repeats", "1", "--warmup", "0",
+            "--history", str(history),
+            "--baseline", str(tmp_path / "baseline.json"),
+        ]
+        assert harness.main(common) == 0  # default: smoke
+        assert harness.main(["--figures", *common]) == 0
+        assert harness.main(["--smoke", "--figures", *common]) == 0
+
+        records = [
+            json.loads(line) for line in history.read_text().splitlines()
+        ]
+        assert [r["mode"] for r in records] == [
+            "smoke", "figures", "smoke+figures",
+        ]
+        assert set(records[0]["results"]) == {"smoke.x_ms"}
+        assert set(records[1]["results"]) == {"figures.x_ms"}
+        assert set(records[2]["results"]) == {"smoke.x_ms", "figures.x_ms"}
+        # The trend gate reads back only the matching mode.
+        assert len(harness.load_history(history, mode="figures")) == 1

@@ -250,6 +250,32 @@ class TestChaos:
         assert _counter_value(registry, f"resilience.fallback.{stage}") >= 1
         assert _counter_value(registry, "resilience.degraded_summaries") == 1
 
+    def test_with_config_siblings_share_the_installed_injector(
+        self, scenario, base_trip
+    ):
+        """Chaos armed on a model survives a config sweep.
+
+        ``with_config`` siblings share the injector object (like every
+        other piece of non-config state), so fire counts accumulate
+        globally across siblings and uninstalling on the original
+        disarms nothing retroactively on copies made while armed.
+        """
+        stmaker = scenario.stmaker
+        injector = FaultInjector.raising("partition", times=None)
+        with injector.installed(stmaker):
+            sibling = stmaker.with_config(stmaker.config)
+            assert sibling.fault_injector is injector
+            summary = sibling.summarize(base_trip.raw, k=2)
+            assert "partition" in summary.degradation.stages()
+            assert injector.fired("partition") >= 1
+        # After uninstall the original is clean again; siblings made
+        # inside the armed window keep their reference (shared state,
+        # not a lifecycle).
+        assert stmaker.fault_injector is None
+        assert stmaker.with_config(stmaker.config).fault_injector is None
+        assert injector.specs[0].stage == "partition"
+        assert injector.seed == 0
+
     def test_faults_in_all_stages_at_once(self, scenario, base_trip, registry):
         injector = FaultInjector([FaultSpec(stage=s) for s in STAGES])
         with injector.installed(scenario.stmaker):

@@ -14,6 +14,10 @@ quarantine.
 ``SERVING_TEST_WORKERS`` (CI matrix: 1 and 4) sets the pool's worker
 count; every comparison forces the pool with an explicit ``shard_size``,
 so even the 1-worker leg runs the shard/reassembly machinery.
+``SERVING_TEST_EXECUTOR`` (CI matrix: thread and process) selects the
+pool backend, so the whole suite also proves the process executor —
+artifact shipping, worker rebuild, telemetry relay — element-wise
+identical to serial.
 """
 
 from __future__ import annotations
@@ -31,6 +35,13 @@ from repro.trajectory import RawTrajectory, TrajectoryPoint
 
 #: Worker count of the parallel side of every comparison (CI matrix 1/4).
 WORKERS = int(os.environ.get("SERVING_TEST_WORKERS", "4"))
+
+#: Pool backend of the parallel side (CI matrix thread/process).
+EXECUTOR = os.environ.get("SERVING_TEST_EXECUTOR", "thread")
+
+
+def _no_sleep(seconds: float) -> None:
+    """A sleeper that doesn't — module-level so it crosses process pools."""
 
 #: The five stages, for per-stage fault-injection comparisons.
 STAGES = ("calibrate", "extract", "partition", "select", "realize")
@@ -142,7 +153,8 @@ def assert_batches_identical(serial, parallel) -> None:
 def run_pair(stmaker, corpus, *, shard_mode="balanced", **kwargs):
     serial = stmaker.summarize_many(corpus, workers=1, **kwargs)
     parallel = stmaker.summarize_many(
-        corpus, workers=WORKERS, shard_size=3, shard_mode=shard_mode, **kwargs
+        corpus, workers=WORKERS, shard_size=3, shard_mode=shard_mode,
+        executor=EXECUTOR, **kwargs
     )
     return serial, parallel
 
@@ -190,7 +202,7 @@ def test_parallel_equals_serial_under_stage_faults(stmaker, corpus, stage):
             if workers == 1:
                 return stmaker.summarize_many(corpus, k=2)
             return stmaker.summarize_many(
-                corpus, k=2, workers=workers, shard_size=3
+                corpus, k=2, workers=workers, shard_size=3, executor=EXECUTOR
             )
 
     serial, parallel = run(1), run(WORKERS)
@@ -209,10 +221,10 @@ def test_parallel_equals_serial_under_transient_storm(stmaker, corpus):
         )
         with injector.installed(stmaker):
             return stmaker.summarize_many(
-                corpus, k=2, retry=retry, sleeper=lambda s: None,
-                workers=workers, shard_size=3,
+                corpus, k=2, retry=retry, sleeper=_no_sleep,
+                workers=workers, shard_size=3, executor=EXECUTOR,
             ) if workers != 1 else stmaker.summarize_many(
-                corpus, k=2, retry=retry, sleeper=lambda s: None
+                corpus, k=2, retry=retry, sleeper=_no_sleep
             )
 
     serial, parallel = run(1), run(WORKERS)
@@ -237,7 +249,8 @@ def test_parallel_strict_mode_identical_on_clean_corpus(stmaker, corpus):
     clean = corpus[:10]  # the healthy simulated trips
     serial = stmaker.summarize_many(clean, k=2, strict=True)
     parallel = stmaker.summarize_many(
-        clean, k=2, strict=True, workers=WORKERS, shard_size=2
+        clean, k=2, strict=True, workers=WORKERS, shard_size=2,
+        executor=EXECUTOR,
     )
     assert_batches_identical(serial, parallel)
     assert serial.quarantined_count == 0
@@ -250,7 +263,10 @@ def test_async_wrapper_equals_serial(stmaker, corpus):
 
     serial = stmaker.summarize_many(corpus, k=2)
     parallel = asyncio.run(
-        run_sharded_async(stmaker, corpus, 2, workers=WORKERS, shard_size=3)
+        run_sharded_async(
+            stmaker, corpus, 2, workers=WORKERS, shard_size=3,
+            executor=EXECUTOR,
+        )
     )
     assert_batches_identical(serial, parallel)
 
@@ -260,7 +276,8 @@ def test_parallel_progress_callback_sees_every_item(stmaker, corpus):
 
     snapshots: list[BatchProgress] = []
     result = stmaker.summarize_many(
-        corpus, k=2, workers=WORKERS, shard_size=3, progress=snapshots.append
+        corpus, k=2, workers=WORKERS, shard_size=3, progress=snapshots.append,
+        executor=EXECUTOR,
     )
     assert len(snapshots) == len(corpus)
     final = max(snapshots, key=lambda p: p.done)
@@ -277,6 +294,7 @@ def test_hashed_mode_accepts_custom_shard_key(stmaker, corpus):
     parallel = run_sharded(
         stmaker, corpus, 2, workers=WORKERS, shard_size=3,
         shard_mode="hashed", shard_key=lambda raw: raw.trajectory_id[::-1],
+        executor=EXECUTOR,
     )
     assert_batches_identical(serial, parallel)
 
@@ -296,6 +314,7 @@ def test_parallel_strict_mode_raises_like_serial(stmaker, corpus):
         stmaker.summarize_many(corpus, k=2, strict=True)
     with pytest.raises(Exception) as parallel_exc:
         stmaker.summarize_many(
-            corpus, k=2, strict=True, workers=WORKERS, shard_size=3
+            corpus, k=2, strict=True, workers=WORKERS, shard_size=3,
+            executor=EXECUTOR,
         )
     assert type(parallel_exc.value) is type(serial_exc.value)

@@ -1,0 +1,169 @@
+"""Process-executor specifics: telemetry relay, artifact wiring, pre-checks.
+
+The differential suite (``test_serving_differential.py``) already proves
+``executor="process"`` element-wise identical to serial when run with
+``SERVING_TEST_EXECUTOR=process``; this file pins what is *unique* to the
+process path — worker telemetry merged across the pickle boundary, the
+explicit-artifact workflow, and the fail-fast checks for state that
+cannot cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import EXECUTORS, run_sharded
+
+
+@pytest.fixture()
+def stmaker(scenario):
+    return scenario.stmaker
+
+
+@pytest.fixture()
+def trips(scenario):
+    rng = np.random.default_rng(4321)
+    return [
+        t.raw
+        for t in scenario.simulate_trips(8, depart_time=9 * 3600.0, rng=rng)
+    ]
+
+
+@pytest.fixture()
+def clean_obs():
+    yield
+    obs.disable_metrics()
+    obs.disable_tracing()
+    obs.disable_events()
+
+
+def _deterministic_view(snapshot: dict) -> dict:
+    """Counters and non-timing histogram buckets — the series that must be
+    bit-identical between serial and process-sharded runs (same filter as
+    the thread-mode merge differential in ``test_obs_aggregate.py``)."""
+    out = {}
+    for name, data in snapshot.items():
+        if name.startswith("serving.") or name.startswith("artifact."):
+            continue  # pool/artifact bookkeeping only exists when sharded
+        if data["type"] == "counter":
+            out[name] = ("counter", data["value"])
+        elif data["type"] == "histogram":
+            if "latency" in name or name.endswith("_ms"):
+                out[name] = ("histogram", data["count"])
+            else:
+                out[name] = ("histogram", data["count"], dict(data["buckets"]))
+    return out
+
+
+class TestMergedTelemetry:
+    def test_merged_metrics_equal_serial_registry(self, stmaker, trips, clean_obs):
+        serial = obs.enable_metrics(MetricsRegistry())
+        stmaker.summarize_many(trips, k=2)
+        serial_view = _deterministic_view(serial.snapshot())
+        obs.disable_metrics()
+
+        merged = obs.enable_metrics(MetricsRegistry())
+        stmaker.summarize_many(trips, k=2, workers=3, executor="process")
+        merged_view = _deterministic_view(merged.snapshot())
+
+        assert merged_view == serial_view
+        assert merged_view["summarize.calls"] == ("counter", float(len(trips)))
+
+    def test_worker_events_relayed_with_source(self, stmaker, trips, clean_obs):
+        log = obs.EventLog()
+        obs.enable_events().subscribe(log)
+        stmaker.summarize_many(trips, k=2, workers=2, shard_size=4,
+                               executor="process")
+
+        shard_ends = log.events("shard_end")
+        assert len(shard_ends) == 2
+        # Worker-emitted events arrive through EventBus.relay: re-sequenced
+        # on the parent bus, provenance preserved in relay_* payload keys.
+        for event in shard_ends:
+            assert event.payload["relay_source"].startswith("shard-")
+        # Item-level pipeline events made the crossing too.
+        assert len(log.events("stage_start")) > 0
+        # Parent-side lifecycle events are emitted locally, not relayed.
+        (batch_start,) = log.events("batch_start")
+        assert "relay_source" not in batch_start.payload
+        assert len(log.events("progress")) == len(trips)
+
+    def test_worker_spans_grafted_into_parent_trace(self, stmaker, trips, clean_obs):
+        collector = obs.enable_tracing()
+        stmaker.summarize_many(trips, k=2, workers=2, shard_size=4,
+                               executor="process")
+        spans = collector.to_dicts()
+        names = [s["name"] for s in spans]
+        assert names.count("shard") == 2
+        assert names.count("summarize") == len(trips)
+        assert "summarize_many" in names
+        # Grafted span ids were remapped into the parent's id space: unique,
+        # and every shard span's children resolve within the batch.
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestExplicitArtifact:
+    def test_explicit_artifact_path_equals_serial(self, stmaker, trips, tmp_path):
+        from repro.artifact import save_artifact
+
+        info = save_artifact(stmaker, tmp_path / "model.stm")
+        serial = stmaker.summarize_many(trips, k=2)
+        parallel = stmaker.summarize_many(
+            trips, k=2, workers=2, executor="process",
+            artifact=str(tmp_path / "model.stm"),
+        )
+        assert [s.text for s in parallel.summaries] == [
+            s.text for s in serial.summaries
+        ]
+        assert info.fingerprint  # the file the workers actually served from
+
+    def test_artifact_with_thread_executor_rejected(self, stmaker, trips, tmp_path):
+        with pytest.raises(ConfigError, match="executor='process'"):
+            stmaker.summarize_many(
+                trips, k=2, workers=2, artifact=str(tmp_path / "m.stm")
+            )
+
+    def test_unknown_executor_rejected(self, stmaker, trips):
+        with pytest.raises(ConfigError, match="unknown executor"):
+            stmaker.summarize_many(trips, k=2, workers=2, executor="ray")
+        assert EXECUTORS == ("thread", "process")
+
+
+class TestProcessPreChecks:
+    def test_unpicklable_sleeper_rejected_fast(self, stmaker, trips):
+        with pytest.raises(ConfigError, match="picklable sleeper"):
+            run_sharded(
+                stmaker, trips, 2, workers=2, executor="process",
+                sleeper=lambda s: None,
+            )
+
+    def test_custom_feature_registry_rejected(self, scenario, trips):
+        from repro.features import (
+            FeatureDefinition,
+            FeatureDtype,
+            FeatureKind,
+            default_registry,
+        )
+
+        registry = default_registry()
+        registry.register(FeatureDefinition(
+            key="custom_zeros",
+            short_label="zeros",
+            kind=FeatureKind.MOVING,
+            dtype=FeatureDtype.NUMERIC,
+            description="a custom extractor that cannot cross processes",
+            extractor=lambda ctx: 0.0,
+        ))
+        custom = scenario.stmaker
+        sibling = type(custom)(
+            custom.network, custom.landmarks, custom.transfers,
+            custom.feature_map, config=custom.config, registry=registry,
+            calibrator=custom.calibrator,
+        )
+        with pytest.raises(ConfigError, match="custom feature"):
+            sibling.summarize_many(trips, k=2, workers=2, executor="process")

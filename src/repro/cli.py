@@ -5,8 +5,10 @@ prints its summaries at several granularities (the Fig. 6 experience);
 ``stmaker summarize`` runs the pipeline on a user-supplied CSV trajectory
 recorded inside the synthetic city (with ``--sanitize``/``--strict``/
 ``--max-retries``/``--deadline`` resilience controls — see
-``docs/ROBUSTNESS.md`` — and ``--workers``/``--shard-size``/
-``--executor`` sharded serving controls — see ``docs/SERVING.md``);
+``docs/ROBUSTNESS.md`` — ``--workers``/``--shard-size``/
+``--executor`` sharded serving controls — see ``docs/SERVING.md`` — and
+``--max-shard-retries``/``--breaker``/``--max-in-flight``/
+``--max-queued-items``/``--shed-policy`` failure-containment controls);
 ``stmaker experiment``
 regenerates any of the paper's evaluation figures from the command line;
 ``stmaker report`` summarizes a batch of simulated trips (optionally on
@@ -102,6 +104,61 @@ def _progress_printer():
     return callback
 
 
+def _containment_kwargs(args: argparse.Namespace) -> dict:
+    """Map the failure-containment flags to ``summarize_many`` kwargs.
+
+    Returns ``{}``-valued defaults (``None``/``False``) when no flag was
+    given, so flag-less invocations behave exactly as before.
+    """
+    from repro.serving import AdmissionPolicy, ShardRetryPolicy
+
+    shard_retry = None
+    if args.max_shard_retries is not None:
+        shard_retry = ShardRetryPolicy(max_retries=args.max_shard_retries)
+    admission = None
+    if args.max_queued_items is not None or args.max_in_flight is not None:
+        admission = AdmissionPolicy(
+            max_queued_items=args.max_queued_items,
+            max_in_flight_shards=args.max_in_flight,
+            shed=args.shed_policy,
+        )
+    return {
+        "shard_retry": shard_retry,
+        "breaker": True if args.breaker else None,
+        "admission": admission,
+    }
+
+
+def _add_containment_flags(parser: argparse.ArgumentParser) -> None:
+    """The failure-containment flag group (``docs/ROBUSTNESS.md``)."""
+    group = parser.add_argument_group("failure containment")
+    group.add_argument(
+        "--max-shard-retries", type=int, default=None, metavar="N",
+        help="retries for a shard lost to a worker crash before it is "
+        "bisected down to the poison item (process executor; default: 2)",
+    )
+    group.add_argument(
+        "--breaker", action="store_true",
+        help="arm the per-executor circuit breaker: crash storms route "
+        "shards to a degraded in-parent path until the pool recovers",
+    )
+    group.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="max shards in flight inside the pool at once (admission "
+        "control; default: 2x workers)",
+    )
+    group.add_argument(
+        "--max-queued-items", type=int, default=None, metavar="N",
+        help="max items admitted per batch; over budget the --shed-policy "
+        "applies (default: unbounded)",
+    )
+    group.add_argument(
+        "--shed-policy", choices=["reject", "degrade"], default="reject",
+        help="over budget: 'reject' fails fast with OverloadError, "
+        "'degrade' serves the batch at k=1 (default: reject)",
+    )
+
+
 def _write_run_report(args: argparse.Namespace, summaries=(), batches=()) -> None:
     from repro import obs
 
@@ -159,6 +216,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
                 if args.executor == "process" and args.model
                 else None
             ),
+            **_containment_kwargs(args),
         )
         if args.report_out:
             _write_run_report(args, batches=[result])
@@ -200,6 +258,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         progress=_progress_printer() if args.progress else None,
         workers=args.workers, shard_size=args.shard_size,
         executor=args.executor,
+        **_containment_kwargs(args),
     )
     report = obs.build_run_report(
         batches=[result], registry=registry, collector=collector
@@ -442,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
         "breaks the GIL by serving shards from a city-model artifact "
         "(reuses --model when given; default: thread)",
     )
+    _add_containment_flags(summ)
     summ.add_argument(
         "--progress", action="store_true",
         help="print live progress/throughput lines to stderr",
@@ -481,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=["thread", "process"], default="thread",
         help="pool backend for the batch (default: thread)",
     )
+    _add_containment_flags(rep)
     rep.add_argument(
         "--out", metavar="PREFIX", default="run-report",
         help="artifact prefix: writes PREFIX.json and PREFIX.md "

@@ -39,6 +39,7 @@ from repro.exceptions import (
     PartitionError,
     ReproError,
     TransientError,
+    WorkerCrashError,
 )
 from repro.features import (
     GRADE_OF_ROAD,
@@ -76,6 +77,12 @@ from repro.trajectory import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience import FaultInjector
+    from repro.serving import (
+        AdmissionController,
+        AdmissionPolicy,
+        CircuitBreaker,
+        ShardRetryPolicy,
+    )
 
 
 class STMaker:
@@ -242,7 +249,7 @@ class STMaker:
                     )
             if strict:
                 with stage_scope("calibrate", raw.trajectory_id):
-                    self._inject("calibrate")
+                    self._inject("calibrate", raw.trajectory_id)
                     symbolic = self.calibrator.calibrate(raw)
                 summary = self.summarize_calibrated(raw, symbolic, k=k)
             else:
@@ -269,7 +276,7 @@ class STMaker:
         path wraps the same stages with their fallbacks.
         """
         with stage_scope("extract", raw.trajectory_id):
-            self._inject("extract")
+            self._inject("extract", raw.trajectory_id)
             segment_features = self.pipeline.extract(raw, symbolic)
         spans = self.partition(symbolic, segment_features, k=k)
         partitions = []
@@ -298,6 +305,11 @@ class STMaker:
         shard_mode: str = "balanced",
         executor: str = "thread",
         artifact: "str | None" = None,
+        shard_retry: "ShardRetryPolicy | None" = None,
+        breaker: "CircuitBreaker | bool | None" = None,
+        admission: "AdmissionPolicy | AdmissionController | None" = None,
+        tenant: str | None = None,
+        priority: int = 0,
     ) -> BatchResult:
         """Summarize a batch with per-item error isolation.
 
@@ -330,6 +342,16 @@ class STMaker:
         after every item; the live rate and ETA are also mirrored into the
         ``resilience.batch.items_per_s`` / ``.eta_s`` gauges and onto the
         event stream.
+
+        Failure containment (``docs/ROBUSTNESS.md``): *shard_retry* bounds
+        how the process executor retries/bisects shards lost to worker
+        crashes, *breaker* (``True`` or a
+        :class:`repro.serving.CircuitBreaker`) trips to a degraded
+        in-parent path under crash storms, and *admission* bounds the
+        intake — over budget, it either raises
+        :class:`~repro.exceptions.OverloadError` (``shed="reject"``) or
+        serves the batch at a cheaper ``k`` (``shed="degrade"``), with
+        *tenant*/*priority* consulted by per-tenant budgets and bypass.
         """
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -344,7 +366,16 @@ class STMaker:
                 sleeper=sleeper, progress=progress,
                 workers=workers, shard_size=shard_size, shard_mode=shard_mode,
                 executor=executor, artifact=artifact,
+                shard_retry=shard_retry, breaker=breaker,
+                admission=admission, tenant=tenant, priority=priority,
             )
+        ticket = None
+        if admission is not None:
+            # May raise OverloadError (shed="reject") — deliberately before
+            # any work starts, so a shed batch costs nothing.
+            ticket = admission.admit(len(items), tenant=tenant, priority=priority)
+            if ticket.decision.k_override is not None:
+                k = ticket.decision.k_override
         retry = retry or RetryPolicy()
         deadline = Deadline(deadline_s)
         result = BatchResult()
@@ -369,23 +400,27 @@ class STMaker:
             if progress is not None:
                 progress(snapshot)
 
-        with span("summarize_many", items=len(items), k=k) as sp:
-            for index, raw in enumerate(items):
-                outcome = self._summarize_item(
-                    index, raw, k=k,
-                    sanitize=sanitize, sanitizer_config=sanitizer_config,
-                    strict=strict, retry=retry, deadline=deadline,
-                    sleeper=sleeper,
-                )
-                retries_seen += outcome.retries
-                result.sanitization.append(outcome.sanitization)
-                if outcome.summary is not None:
-                    result.summaries.append(outcome.summary)
-                if outcome.quarantine is not None:
-                    result.quarantined.append(outcome.quarantine)
-                note_progress(index + 1)
-            sp.set_tag("ok", result.ok_count)
-            sp.set_tag("quarantined", result.quarantined_count)
+        try:
+            with span("summarize_many", items=len(items), k=k) as sp:
+                for index, raw in enumerate(items):
+                    outcome = self._summarize_item(
+                        index, raw, k=k,
+                        sanitize=sanitize, sanitizer_config=sanitizer_config,
+                        strict=strict, retry=retry, deadline=deadline,
+                        sleeper=sleeper,
+                    )
+                    retries_seen += outcome.retries
+                    result.sanitization.append(outcome.sanitization)
+                    if outcome.summary is not None:
+                        result.summaries.append(outcome.summary)
+                    if outcome.quarantine is not None:
+                        result.quarantined.append(outcome.quarantine)
+                    note_progress(index + 1)
+                sp.set_tag("ok", result.ok_count)
+                sp.set_tag("quarantined", result.quarantined_count)
+        finally:
+            if ticket is not None:
+                ticket.release()
         emit_event(
             "batch_end", ok=result.ok_count,
             quarantined=result.quarantined_count,
@@ -405,6 +440,7 @@ class STMaker:
         retry: RetryPolicy,
         deadline: Deadline,
         sleeper: Callable[[float], None],
+        shard_id: int | None = None,
     ) -> ItemOutcome:
         """One batch item end to end: sanitize, summarize, retry, quarantine.
 
@@ -412,10 +448,12 @@ class STMaker:
         sharded pool in :mod:`repro.serving` — what makes ``workers=N``
         element-wise identical to ``workers=1`` by construction.  Raises
         only in ``strict`` mode; otherwise every failure becomes the
-        outcome's quarantine entry.
+        outcome's quarantine entry.  *shard_id* is pure provenance for
+        that entry (``None`` on the serial path).
         """
         m = metrics()
         m.counter("resilience.batch.items").inc()
+        item_started = time.perf_counter()
         if deadline.expired:
             m.counter("resilience.batch.quarantined").inc()
             message = (
@@ -429,6 +467,7 @@ class STMaker:
             )
             return ItemOutcome(index, None, QuarantineEntry(
                 index, raw.trajectory_id, "DeadlineExceeded", message, 0,
+                shard_id=shard_id,
             ), None)
         attempts = 0
         retries = 0
@@ -475,6 +514,8 @@ class STMaker:
             return ItemOutcome(index, None, QuarantineEntry(
                 index, raw.trajectory_id, type(exc).__name__,
                 str(exc), attempts,
+                total_duration_s=time.perf_counter() - item_started,
+                shard_id=shard_id,
             ), sanitization, retries)
 
     def partition(
@@ -493,7 +534,7 @@ class STMaker:
         segment_features: list[SegmentFeatures],
         k: int | None,
     ) -> list[PartitionSpan]:
-        self._inject("partition")
+        self._inject("partition", symbolic.trajectory_id)
         n_segments = len(segment_features)
         if n_segments != symbolic.segment_count:
             raise PartitionError(
@@ -525,12 +566,16 @@ class STMaker:
         :class:`TransientError` s are re-raised untouched at every stage —
         they are expected to succeed on retry, so degrading on them would
         permanently lose summary quality; ``summarize_many`` retries them.
+        :class:`WorkerCrashError` s propagate too: a crash is not a stage
+        failure to paper over but an item-fatal event, and letting it
+        reach the quarantine path is what keeps the serial loop's verdict
+        for a poison item identical to the supervised process pool's.
         """
         try:
             with stage_scope("calibrate", raw.trajectory_id):
-                self._inject("calibrate")
+                self._inject("calibrate", raw.trajectory_id)
                 symbolic = self.calibrator.calibrate(raw)
-        except TransientError:
+        except (TransientError, WorkerCrashError):
             raise
         except ReproError as exc:
             symbolic = self._geometric_calibrate(raw)
@@ -539,9 +584,9 @@ class STMaker:
         include_routing = True
         try:
             with stage_scope("extract", raw.trajectory_id):
-                self._inject("extract")
+                self._inject("extract", raw.trajectory_id)
                 segment_features = self.pipeline.extract(raw, symbolic)
-        except TransientError:
+        except (TransientError, WorkerCrashError):
             raise
         except ReproError as exc:
             segment_features = self._extract_moving_only(raw, symbolic)
@@ -550,7 +595,7 @@ class STMaker:
 
         try:
             spans = self.partition(symbolic, segment_features, k=k)
-        except TransientError:
+        except (TransientError, WorkerCrashError):
             raise
         except ReproError as exc:
             spans = [PartitionSpan(0, symbolic.segment_count - 1)]
@@ -577,12 +622,12 @@ class STMaker:
     ) -> PartitionSummary:
         try:
             with stage_scope("select", symbolic.trajectory_id):
-                self._inject("select")
+                self._inject("select", symbolic.trajectory_id)
                 assessment = self.selector.assess(
                     symbolic, segment_features, part_span,
                     include_routing=include_routing,
                 )
-        except TransientError:
+        except (TransientError, WorkerCrashError):
             raise
         except ReproError as exc:
             assessment = PartitionAssessment(part_span, [], [])
@@ -596,12 +641,12 @@ class STMaker:
         )
         try:
             with stage_scope("realize", symbolic.trajectory_id):
-                self._inject("realize")
+                self._inject("realize", symbolic.trajectory_id)
                 with span("realize", selected=len(assessment.selected)):
                     sentence = partition_sentence(
                         source, destination, assessment.selected, self.registry, is_first
                     )
-        except TransientError:
+        except (TransientError, WorkerCrashError):
             raise
         except ReproError as exc:
             opener = "The car started from" if is_first else "Then it moved from"
@@ -677,11 +722,17 @@ class STMaker:
         except ReproError:
             return default
 
-    def _inject(self, stage: str) -> None:
-        """Fault-injection hook: no-op unless an injector is installed."""
+    def _inject(self, stage: str, trajectory_id: str | None = None) -> None:
+        """Fault-injection hook: no-op unless an injector is installed.
+
+        *trajectory_id* lets item-targeted specs
+        (:class:`repro.resilience.FaultSpec` with ``trajectory_id=``)
+        fire only for the poison item, deterministically under any
+        shard scheduling.
+        """
         injector = self.fault_injector
         if injector is not None:
-            injector.before(stage)
+            injector.before(stage, trajectory_id)
 
     def _record(
         self, report: DegradationReport, stage: str, fallback: str, exc: Exception
@@ -707,10 +758,10 @@ class STMaker:
         is_first: bool,
     ) -> PartitionSummary:
         with stage_scope("select", symbolic.trajectory_id):
-            self._inject("select")
+            self._inject("select", symbolic.trajectory_id)
             assessment = self.selector.assess(symbolic, segment_features, part_span)
         with stage_scope("realize", symbolic.trajectory_id):
-            self._inject("realize")
+            self._inject("realize", symbolic.trajectory_id)
             with span("realize", selected=len(assessment.selected)):
                 source = self.landmarks.get(
                     symbolic[part_span.start_landmark_index].landmark

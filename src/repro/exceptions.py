@@ -77,6 +77,33 @@ class ArtifactError(ReproError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A worker died — or would have died — while serving a batch item.
+
+    Raised (and recorded in quarantine entries) in three situations:
+
+    * a worker *process* serving a shard terminated abruptly (segfault,
+      ``os._exit`` from native code, OOM kill) and shard supervision
+      isolated the poison item by retry and bisection;
+    * a worker stopped making progress past its deadline budget and was
+      killed by the supervisor (a hang is a crash that wastes more time);
+    * a ``crash``/``hang``/``oom-sim`` fault fired in a context that
+      cannot be killed safely (the serial loop, a thread worker) — the
+      fault raises this instead, so serial and supervised process runs
+      quarantine the same items.
+    """
+
+
+class OverloadError(ReproError):
+    """Admission control shed work instead of accepting it.
+
+    Raised by the serving intake when a batch would exceed the configured
+    queue/tenant budgets under a ``shed="reject"`` policy.  Deliberate
+    back-pressure, not a bug: the caller should retry later, lower the
+    batch size, or run with a ``shed="degrade"`` policy.
+    """
+
+
 class ServingError(ReproError):
     """Raised when the sharded serving layer violates an invariant.
 

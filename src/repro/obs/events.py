@@ -44,6 +44,10 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "progress",       # batch throughput heartbeat (items/s, ETA)
     "shard_start",    # a serving pool shard began; payload has shard_id/items
     "shard_end",      # ... finished; payload has ok/quarantined/duration_ms
+    "shard_retry",    # supervisor handled a lost shard (retry/bisect/quarantine)
+    "breaker_open",   # a circuit breaker tripped; payload has failure_rate
+    "breaker_close",  # ... recovered after a successful half-open probe
+    "load_shed",      # admission control rejected or degraded an intake
 })
 
 

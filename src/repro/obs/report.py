@@ -104,6 +104,9 @@ class RunReport:
     metrics: dict[str, dict[str, object]] = field(default_factory=dict)
     #: Sharded-serving breakdown (``{}`` when the batch ran serially).
     serving: dict[str, object] = field(default_factory=dict)
+    #: Failure-containment roll-up — crashes, shard retries/bisections,
+    #: breaker state, shed load (``{}`` when nothing was contained).
+    containment: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -114,6 +117,7 @@ class RunReport:
             "quality": self.quality,
             "metrics": self.metrics,
             "serving": self.serving,
+            "containment": self.containment,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -181,6 +185,52 @@ class RunReport:
                     [[stage, count] for stage, count in per_stage.items()],
                 ),
             ]
+        entries = resilience.get("quarantine_entries", [])
+        if entries:
+            sections += [
+                "",
+                "Quarantine post-mortem:",
+                "",
+                _markdown_table(
+                    ["index", "trajectory", "error", "attempts",
+                     "duration s", "shard"],
+                    [
+                        [
+                            e["index"], e["trajectory_id"], e["error_type"],
+                            e["attempts"], e.get("total_duration_s", 0.0),
+                            "-" if e.get("shard_id") is None else e["shard_id"],
+                        ]
+                        for e in entries
+                    ],
+                ),
+            ]
+
+        containment = self.containment
+        if containment:
+            sections += [
+                "",
+                "## Failure containment",
+                "",
+                f"- worker crash incidents: **{containment.get('crashes', 0)}**",
+                f"- shards retried: {containment.get('retried_shards', 0)}"
+                f" · bisected: {containment.get('bisected_shards', 0)}",
+                f"- items shed by admission control: "
+                f"{containment.get('shed_items', 0)}"
+                f" · degraded admissions: "
+                f"{containment.get('degraded_admissions', 0)}",
+                f"- breaker trips: {containment.get('breaker_trips', 0)}"
+                f" · shards denied by open breakers: "
+                f"{containment.get('breaker_denied_shards', 0)}",
+            ]
+            breakers = containment.get("breakers", [])
+            if breakers:
+                sections += [
+                    "",
+                    _markdown_table(
+                        ["breaker", "state"],
+                        [[b["name"], b["state"]] for b in breakers],
+                    ),
+                ]
 
         shards = self.serving.get("shards", [])
         if shards:
@@ -351,6 +401,58 @@ def _serving_stats(
     return out
 
 
+#: Containment counters lifted into the report, metric name → report key.
+_CONTAINMENT_COUNTERS = {
+    "serving.crashes": "crashes",
+    "serving.retried_shards": "retried_shards",
+    "serving.bisected_shards": "bisected_shards",
+    "serving.shed_items": "shed_items",
+    "serving.degraded_admissions": "degraded_admissions",
+    "serving.breaker.trips": "breaker_trips",
+    "serving.breaker.denied_shards": "breaker_denied_shards",
+}
+
+#: ``serving.breaker.<name>.state`` gauge values, index = gauge value.
+_BREAKER_STATES = ("closed", "half_open", "open")
+
+
+def _containment_stats(
+    metrics_snapshot: dict[str, dict[str, object]],
+) -> dict[str, object]:
+    """The failure-containment roll-up from the serving counters/gauges.
+
+    Returns ``{}`` when the run recorded no containment activity at all
+    (no crashes, no shedding, no breakers) so undisturbed run reports are
+    unchanged.
+    """
+    out: dict[str, object] = {}
+    for metric, key in _CONTAINMENT_COUNTERS.items():
+        data = metrics_snapshot.get(metric)
+        if data and data.get("value"):
+            out[key] = int(data["value"])  # type: ignore[arg-type]
+    breakers = []
+    for name, data in metrics_snapshot.items():
+        if not (name.startswith("serving.breaker.") and name.endswith(".state")):
+            continue
+        value = data.get("value")
+        if value is None:
+            continue
+        state_index = int(value)  # type: ignore[arg-type]
+        if not 0 <= state_index < len(_BREAKER_STATES):
+            continue
+        breakers.append({
+            "name": name[len("serving.breaker."):-len(".state")],
+            "state": _BREAKER_STATES[state_index],
+        })
+    if breakers and (out or any(b["state"] != "closed" for b in breakers)):
+        out["breakers"] = sorted(breakers, key=lambda b: b["name"])
+    if not out:
+        return {}
+    for key in _CONTAINMENT_COUNTERS.values():
+        out.setdefault(key, 0)
+    return out
+
+
 def build_run_report(
     summaries: Iterable["TrajectorySummary"] = (),
     *,
@@ -399,4 +501,5 @@ def build_run_report(
         quality=_quality_stats(summaries),
         metrics=metrics_snapshot,
         serving=_serving_stats(metrics_snapshot),
+        containment=_containment_stats(metrics_snapshot),
     )

@@ -24,10 +24,16 @@ from repro.resilience.batch import (
     QuarantineEntry,
 )
 from repro.resilience.degradation import STAGES, DegradationEvent, DegradationReport
-from repro.resilience.faultinject import FaultInjector, FaultSpec, InjectedFault
+from repro.resilience.faultinject import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+)
 from repro.resilience.policy import Deadline, RetryPolicy
 
 __all__ = [
+    "FAULT_KINDS",
     "STAGES",
     "DegradationEvent",
     "DegradationReport",

@@ -18,7 +18,16 @@ if TYPE_CHECKING:  # avoid the repro.core <-> repro.resilience import cycle
 
 @dataclass(frozen=True, slots=True)
 class QuarantineEntry:
-    """One trajectory that failed even after degradation (or retries)."""
+    """One trajectory that failed even after degradation (or retries).
+
+    Carries enough for a post-mortem to distinguish "failed instantly
+    once" from "retried three times over eleven seconds and then took a
+    worker down": the final error, the attempt count, the total wall
+    clock the item consumed, and which shard was serving it.  The two
+    timing/placement fields are excluded from equality — the parallel ≡
+    serial differential contract compares *what* failed and *why*, not
+    how long it took or where it was scheduled.
+    """
 
     #: Position of the item in the input batch.
     index: int
@@ -29,6 +38,11 @@ class QuarantineEntry:
     error: str
     #: How many summarization attempts were made (0 = never started).
     attempts: int
+    #: Wall-clock seconds spent on the item across every attempt,
+    #: including retry backoff (0.0 when it never started).
+    total_duration_s: float = field(default=0.0, compare=False)
+    #: Shard that served the item (``None`` on the serial path).
+    shard_id: int | None = field(default=None, compare=False)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -37,6 +51,8 @@ class QuarantineEntry:
             "error_type": self.error_type,
             "error": self.error,
             "attempts": self.attempts,
+            "total_duration_s": self.total_duration_s,
+            "shard_id": self.shard_id,
         }
 
 

@@ -63,13 +63,24 @@ class Deadline:
         self._t0 = clock()
 
     def remaining_s(self) -> float:
-        """Seconds left in the budget (``inf`` when unbounded)."""
+        """Seconds left in the budget, clamped at 0.0 (``inf`` when unbounded).
+
+        The clamp matters in long retry loops: raw ``budget - elapsed``
+        arithmetic goes negative once the budget is spent (and can even
+        go negative on a *fresh* deadline when the clock churns
+        backwards, e.g. a test clock or a suspended VM), and a negative
+        "remaining" poisons any downstream arithmetic that scales work
+        by the time left.  Spent is spent: the floor is 0.0.
+        """
         if self.budget_s is None:
             return math.inf
-        return self.budget_s - (self._clock() - self._t0)
+        return max(0.0, self.budget_s - (self._clock() - self._t0))
 
     @property
     def expired(self) -> bool:
+        """True once no budget remains (consistent with the 0.0 clamp)."""
+        if self.budget_s is None:
+            return False
         return self.remaining_s() <= 0.0
 
     def check(self, label: str = "operation") -> None:

@@ -15,6 +15,18 @@ without changing semantics:
   as :class:`ShardTask` s carrying a city-model **artifact reference**
   (:mod:`repro.artifact`) instead of the model itself, and come back as
   :class:`ShardResult` s carrying their telemetry snapshot;
+* :mod:`~repro.serving.supervisor` — crash containment for the process
+  backend: worker death is retried, bisected down to the poison item,
+  and quarantined with a typed
+  :class:`~repro.exceptions.WorkerCrashError` under a bounded
+  :class:`ShardRetryPolicy`, with progress-based hang detection —
+  ``BrokenProcessPool`` never reaches the caller;
+* :mod:`~repro.serving.breaker` — per-name circuit breakers
+  (closed → open → half-open) that route shards to an in-parent
+  degraded path during crash storms (:func:`get_breaker`);
+* :mod:`~repro.serving.admission` — bounded intake with typed
+  :class:`~repro.exceptions.OverloadError` shedding or degrade-to-cheap-``k``,
+  per-tenant budgets, and priority bypass;
 * :mod:`~repro.serving.ordering` — reassemble per-item outcomes into
   input order regardless of completion order (:func:`reassemble`).
 
@@ -23,9 +35,25 @@ property suites (``tests/test_serving_*.py``): ``summarize_many(workers=4)``
 returns element-wise identical summaries, degradation reports, quarantine
 entries and sanitization reports to ``workers=1``, including under
 deterministic fault injection — for the thread executor *and* the process
-executor.  See ``docs/SERVING.md``.
+executor.  The chaos suite (``tests/test_serving_chaos.py``) extends the
+contract to crash-grade faults: the same items end up quarantined, for
+the same typed reason.  See ``docs/SERVING.md`` and ``docs/ROBUSTNESS.md``.
 """
 
+from repro.serving.admission import (
+    SHED_POLICIES,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionTicket,
+)
+from repro.serving.breaker import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    all_breakers,
+    get_breaker,
+    reset_breakers,
+)
 from repro.serving.executor import (
     EXECUTORS,
     ShardResult,
@@ -35,17 +63,35 @@ from repro.serving.executor import (
 from repro.serving.ordering import reassemble
 from repro.serving.pool import run_sharded, run_sharded_async
 from repro.serving.sharder import SHARD_MODES, Shard, plan_shards, stable_key_hash
+from repro.serving.supervisor import (
+    ShardRetryPolicy,
+    run_shard_local,
+    supervise_process_shards,
+)
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmissionTicket",
+    "BREAKER_STATES",
+    "CircuitBreaker",
     "EXECUTORS",
     "SHARD_MODES",
+    "SHED_POLICIES",
     "Shard",
     "ShardResult",
+    "ShardRetryPolicy",
     "ShardTask",
+    "all_breakers",
+    "get_breaker",
     "plan_shards",
+    "reset_breakers",
     "run_shard_in_process",
+    "run_shard_local",
     "run_sharded",
     "run_sharded_async",
     "reassemble",
     "stable_key_hash",
+    "supervise_process_shards",
 ]

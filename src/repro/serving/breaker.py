@@ -1,0 +1,248 @@
+"""Circuit breakers for the serving layer.
+
+A breaker protects a failure-prone execution path (in serving: the
+process pool of one executor) from *storms* — when most recent attempts
+fail, continuing to hammer the path wastes the retry budget, churns
+worker processes, and delays the batch far more than simply routing
+around it.  The classic three-state machine:
+
+* **closed** — normal operation; outcomes are recorded into a sliding
+  window, and when the window holds at least ``min_volume`` outcomes
+  with a failure rate at or above ``failure_threshold``, the breaker
+  trips open;
+* **open** — :meth:`CircuitBreaker.allow` answers ``False`` (callers
+  take their degraded path) until ``cooldown_s`` has elapsed on the
+  monotonic clock;
+* **half-open** — after the cooldown, exactly one probe is let through;
+  its success closes the breaker (window cleared, fresh start), its
+  failure re-opens it for another cooldown.
+
+Everything is deterministic and injectable: the clock is a constructor
+argument, there is no jitter, and state transitions are reported through
+the standard obs surface — ``breaker_open``/``breaker_close`` events,
+a ``serving.breaker.<name>.state`` gauge (0 closed, 1 half-open,
+2 open) and a ``serving.breaker.trips`` counter — so chaos tests and
+run reports see exactly what production dashboards see.
+
+Breakers are shared state by nature (many batches, one pool health),
+so the module keeps a process-wide registry: :func:`get_breaker`
+returns the breaker for a name, creating it on first use, and
+:func:`reset_breakers` clears the registry (tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.exceptions import ConfigError
+from repro.obs import emit_event, metrics
+
+#: The three breaker states, in ``serving.breaker.<name>.state`` gauge order.
+BREAKER_STATES = ("closed", "half_open", "open")
+
+CLOSED, HALF_OPEN, OPEN = BREAKER_STATES
+
+
+class CircuitBreaker:
+    """A deterministic closed → open → half-open circuit breaker.
+
+    Thread-safe: serving pools record outcomes from whichever thread
+    drains shard futures, and ops surfaces may snapshot concurrently.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: float = 0.5,
+        min_volume: int = 4,
+        window: int = 16,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if min_volume < 1:
+            raise ConfigError(f"min_volume must be >= 1, got {min_volume}")
+        if window < min_volume:
+            raise ConfigError(
+                f"window ({window}) must be >= min_volume ({min_volume})"
+            )
+        if cooldown_s < 0.0:
+            raise ConfigError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.min_volume = min_volume
+        self.window = window
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._trips = 0
+        self._set_state_gauge()
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when cooldown is up."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def failure_rate(self) -> float:
+        """Failure fraction of the sliding window (0.0 when empty)."""
+        with self._lock:
+            return self._failure_rate()
+
+    def snapshot(self) -> dict[str, object]:
+        """State for ops surfaces and the run report."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "failure_rate": self._failure_rate(),
+                "volume": len(self._outcomes),
+                "trips": self._trips,
+            }
+
+    # -- the contract: allow / record ----------------------------------------------
+
+    def allow(self) -> bool:
+        """May the next unit of work use the protected path?
+
+        ``False`` means "take your degraded path"; the caller must still
+        report that degraded work's outcome **not** to this breaker (the
+        degraded path's health is not the protected path's health).  In
+        half-open state exactly one caller gets ``True`` (the probe)
+        until its outcome is recorded.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                self._transition(CLOSED)
+                self._outcomes.clear()
+                emit_event("breaker_close", breaker=self.name)
+                return
+            self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: the path is still broken.
+                self._probe_in_flight = False
+                self._trip()
+                return
+            self._outcomes.append(True)
+            if (
+                self._state == CLOSED
+                and len(self._outcomes) >= self.min_volume
+                and self._failure_rate() >= self.failure_threshold
+            ):
+                self._trip()
+
+    def reset(self) -> None:
+        """Back to a pristine closed breaker (tests, manual ops action)."""
+        with self._lock:
+            self._outcomes.clear()
+            self._probe_in_flight = False
+            self._transition(CLOSED)
+
+    # -- internals (call with the lock held) -----------------------------------------
+
+    def _failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_in_flight = False
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self._opened_at = self._clock()
+        rate = self._failure_rate()
+        self._transition(OPEN)
+        metrics().counter("serving.breaker.trips").inc()
+        emit_event(
+            "breaker_open", breaker=self.name,
+            failure_rate=rate, volume=len(self._outcomes),
+            cooldown_s=self.cooldown_s,
+        )
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self._set_state_gauge()
+
+    def _set_state_gauge(self) -> None:
+        metrics().gauge(f"serving.breaker.{self.name}.state").set(
+            float(BREAKER_STATES.index(self._state))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self._state!r}, "
+            f"failure_rate={self._failure_rate():.2f}, trips={self._trips})"
+        )
+
+
+# -- process-wide registry ------------------------------------------------------------
+
+_registry: dict[str, CircuitBreaker] = {}
+_registry_lock = threading.Lock()
+
+
+def get_breaker(name: str, **kwargs: object) -> CircuitBreaker:
+    """The process-wide breaker for *name*, created on first use.
+
+    Keyword arguments configure the breaker **only** on creation; a later
+    call with different settings returns the existing breaker unchanged
+    (one name, one health record).
+    """
+    with _registry_lock:
+        breaker = _registry.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(name, **kwargs)  # type: ignore[arg-type]
+            _registry[name] = breaker
+        return breaker
+
+
+def all_breakers() -> tuple[CircuitBreaker, ...]:
+    """Every registered breaker (for ops surfaces and the run report)."""
+    with _registry_lock:
+        return tuple(_registry.values())
+
+
+def reset_breakers() -> None:
+    """Drop every registered breaker (test isolation)."""
+    with _registry_lock:
+        _registry.clear()

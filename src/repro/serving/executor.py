@@ -263,6 +263,7 @@ def run_shard_in_process(task: ShardTask) -> ShardResult:
                     sanitizer_config=task.sanitizer_config,
                     strict=task.strict, retry=task.retry,
                     deadline=deadline, sleeper=sleeper,
+                    shard_id=task.shard_id,
                 )
                 outcomes.append(outcome)
                 if outcome.summary is not None:

@@ -45,7 +45,7 @@ import contextlib
 import functools
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.exceptions import ConfigError
@@ -66,19 +66,24 @@ from repro.resilience import (
     ItemOutcome,
     RetryPolicy,
 )
+from repro.serving.breaker import CircuitBreaker, get_breaker
 from repro.serving.executor import (
     EXECUTORS,
     ShardResult,
     build_shard_tasks,
     check_process_compatible,
-    mp_context,
-    run_shard_in_process,
 )
 from repro.serving.ordering import reassemble
 from repro.serving.sharder import Shard, plan_shards
+from repro.serving.supervisor import (
+    ShardRetryPolicy,
+    run_shard_local,
+    supervise_process_shards,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.summarizer import STMaker
+    from repro.serving.admission import AdmissionController, AdmissionPolicy
     from repro.trajectory import RawTrajectory, SanitizerConfig
 
 
@@ -147,6 +152,11 @@ def run_sharded(
     shard_key: Callable[["RawTrajectory"], str] | None = None,
     executor: str = "thread",
     artifact: str | None = None,
+    shard_retry: ShardRetryPolicy | None = None,
+    breaker: "CircuitBreaker | bool | None" = None,
+    admission: "AdmissionPolicy | AdmissionController | None" = None,
+    tenant: str | None = None,
+    priority: int = 0,
 ) -> BatchResult:
     """Summarize *items* on a pool of *workers*, shard by shard.
 
@@ -165,6 +175,19 @@ def run_sharded(
     relayed events — same totals as thread mode, but per-item events
     surface when each shard completes rather than live, and relayed
     events carry ``relay_*`` provenance keys.
+
+    Failure containment (``docs/ROBUSTNESS.md``): the process executor
+    always runs supervised — worker death is retried, bisected, and at
+    worst quarantined under *shard_retry* (default
+    :class:`~repro.serving.ShardRetryPolicy`), never propagated as
+    ``BrokenProcessPool``.  *breaker* (``True`` for the registry breaker
+    named ``serving.<executor>``, or an explicit
+    :class:`~repro.serving.CircuitBreaker`) routes shards to an
+    in-parent degraded path while open.  *admission* bounds the intake
+    (may raise :class:`~repro.exceptions.OverloadError`, or override
+    ``k`` under ``shed="degrade"``) and caps the supervisor's in-flight
+    window via its ``max_in_flight_shards``; *tenant*/*priority* feed
+    its budget and bypass hooks.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -176,6 +199,19 @@ def run_sharded(
         raise ConfigError("artifact= is only used with executor='process'")
     items = list(items)
     retry = retry or RetryPolicy()
+    if breaker is True:
+        breaker = get_breaker(f"serving.{executor}")
+    elif breaker is False:
+        breaker = None
+    ticket = None
+    if admission is not None:
+        # May raise OverloadError (shed="reject") — before any work starts.
+        ticket = admission.admit(len(items), tenant=tenant, priority=priority)
+        if ticket.decision.k_override is not None:
+            k = ticket.decision.k_override
+    max_in_flight = (
+        admission.max_in_flight_shards if admission is not None else None
+    )
     keys = None
     if shard_mode == "hashed":
         key_of = shard_key or (lambda raw: raw.trajectory_id)
@@ -224,7 +260,7 @@ def run_sharded(
                         index, items[index], k=k,
                         sanitize=sanitize, sanitizer_config=sanitizer_config,
                         strict=strict, retry=retry, deadline=deadline,
-                        sleeper=sleeper,
+                        sleeper=sleeper, shard_id=shard.shard_id,
                     )
                     outcomes.append(outcome)
                     if outcome.summary is not None:
@@ -250,30 +286,41 @@ def run_sharded(
         return outcomes
 
     all_outcomes: list[ItemOutcome] = []
-    with span(
-        "summarize_many", items=len(items), k=k,
-        workers=workers, shards=len(shards), executor=executor,
-    ) as sp:
-        if executor == "process":
-            all_outcomes = _run_shards_in_processes(
-                stmaker, shards, items,
-                artifact=artifact, k=k,
-                sanitize=sanitize, sanitizer_config=sanitizer_config,
-                strict=strict, retry=retry, deadline_s=deadline_s,
-                sleeper=sleeper, workers=workers, board=board, m=m,
-            )
-        else:
-            with ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-serving"
-            ) as pool:
-                # In strict mode a worker raises; .result() re-raises the
-                # first failure here after the executor drains, matching
-                # the serial loop's raise-on-first-error contract.
-                for outcomes in pool.map(run_shard, shards):
-                    all_outcomes.extend(outcomes)
-        result = reassemble(all_outcomes, len(items))
-        sp.set_tag("ok", result.ok_count)
-        sp.set_tag("quarantined", result.quarantined_count)
+    try:
+        with span(
+            "summarize_many", items=len(items), k=k,
+            workers=workers, shards=len(shards), executor=executor,
+        ) as sp:
+            if executor == "process":
+                all_outcomes = _run_shards_in_processes(
+                    stmaker, shards, items,
+                    artifact=artifact, k=k,
+                    sanitize=sanitize, sanitizer_config=sanitizer_config,
+                    strict=strict, retry=retry, deadline_s=deadline_s,
+                    sleeper=sleeper, workers=workers, board=board, m=m,
+                    shard_retry=shard_retry or ShardRetryPolicy(),
+                    breaker=breaker, max_in_flight=max_in_flight,
+                )
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-serving"
+                ) as pool:
+                    # In strict mode a worker raises; .result() re-raises the
+                    # first failure here after the executor drains, matching
+                    # the serial loop's raise-on-first-error contract.
+                    for outcomes in pool.map(run_shard, shards):
+                        all_outcomes.extend(outcomes)
+                        if isinstance(breaker, CircuitBreaker):
+                            # Thread shards cannot crash the pool; the record
+                            # keeps a shared breaker's volume honest when the
+                            # two executors alternate on one name.
+                            breaker.record_success()
+            result = reassemble(all_outcomes, len(items))
+            sp.set_tag("ok", result.ok_count)
+            sp.set_tag("quarantined", result.quarantined_count)
+    finally:
+        if ticket is not None:
+            ticket.release()
     emit_event(
         "batch_end", ok=result.ok_count,
         quarantined=result.quarantined_count,
@@ -328,14 +375,18 @@ def _run_shards_in_processes(
     workers: int,
     board: _ProgressBoard,
     m,
+    shard_retry: ShardRetryPolicy,
+    breaker: "CircuitBreaker | None",
+    max_in_flight: int | None,
 ) -> list[ItemOutcome]:
-    """Serve *shards* on a ProcessPoolExecutor against an artifact.
+    """Serve *shards* on a supervised ProcessPoolExecutor.
 
-    Futures are drained in submission order, so strict mode re-raises the
-    first failure in shard order — the same contract as thread mode's
-    ``pool.map``.  Shards completing out of order are still folded in
-    deterministic shard order; :func:`reassemble` restores item order
-    either way.
+    The supervisor (:mod:`repro.serving.supervisor`) owns the pool:
+    worker death never surfaces as ``BrokenProcessPool`` here — lost
+    shards are retried, bisected, and at worst quarantined under
+    *shard_retry*, while completed shards fold in completion order
+    (:func:`reassemble` restores item order regardless).  In strict mode
+    the first worker-raised item error still propagates unchanged.
     """
     from repro.artifact import artifact_info, ensure_artifact
 
@@ -348,14 +399,23 @@ def _run_shards_in_processes(
         strict=strict, retry=retry, deadline_s=deadline_s, sleeper=sleeper,
     )
     all_outcomes: list[ItemOutcome] = []
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=mp_context()
-    ) as pool:
-        futures = [pool.submit(run_shard_in_process, task) for task in tasks]
-        for future in futures:
-            sr = future.result()
-            _fold_shard_result(sr, board, m)
-            all_outcomes.extend(sr.outcomes)
+
+    def fold(sr: ShardResult) -> None:
+        _fold_shard_result(sr, board, m)
+        all_outcomes.extend(sr.outcomes)
+
+    supervise_process_shards(
+        tasks,
+        workers=workers,
+        policy=shard_retry,
+        fold=fold,
+        local_runner=functools.partial(run_shard_local, stmaker),
+        breaker=breaker,
+        max_in_flight=max_in_flight,
+        deadline_s=deadline_s,
+        sleeper=sleeper,
+        strict=strict,
+    )
     return all_outcomes
 
 

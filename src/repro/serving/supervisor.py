@@ -1,0 +1,449 @@
+"""Shard supervision: crash containment for the process executor.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor` has exactly one
+failure story: when any worker process dies (segfault, OOM kill,
+``os._exit`` from native code), the pool marks itself broken and fails
+*every* in-flight future with ``BrokenProcessPool`` — the whole batch
+aborts and every healthy shard's work is lost.  That is the opposite of
+the per-item isolation :meth:`repro.core.STMaker.summarize_many`
+promises.  This module puts a supervisor between :mod:`repro.serving.pool`
+and the process pool so that worker death is a *contained, attributed,
+bounded* event:
+
+1. **Windowed submission** — at most ``max_in_flight`` shards (default:
+   2× workers) live inside the pool at once, so one crash dooms a
+   bounded set of futures, not the entire batch.
+2. **Attribution** — a crash is charged to a shard only when the
+   attribution is *exact* (exactly one shard was in flight).  With
+   several in flight the pool cannot say which one killed the worker,
+   so all of them are requeued uncharged and the supervisor switches to
+   **serialized recovery** (one shard in flight) where every subsequent
+   crash is exactly attributable.  This can never quarantine a healthy
+   shard on circumstantial evidence.
+3. **Retry → bisect → quarantine** — a charged shard is retried on a
+   fresh pool under the bounded :class:`ShardRetryPolicy` (attempts,
+   deterministic geometric backoff; each run gets the full per-shard
+   deadline as always).  A shard that keeps killing workers is
+   **bisected**: its halves re-enter the queue with a fresh attempt
+   budget, so healthy items escape and the poison converges to a
+   single-item shard in ``log2(len(shard))`` rounds.  A single-item
+   shard that still crashes is the proven poison: the supervisor
+   synthesizes a quarantined outcome with a typed
+   :class:`~repro.exceptions.WorkerCrashError` and the batch moves on.
+4. **Hang detection** — progress-based: when no in-flight shard
+   completes within the hang window (``deadline_s`` + grace, or the
+   policy's explicit ``hang_timeout_s``), the workers are killed and
+   the in-flight shards handled exactly like a crash.  A hang is a
+   crash that wastes more time; without this, one stuck worker parks
+   the batch forever.  With no deadline and no explicit timeout the
+   supervisor waits indefinitely (the pre-supervision contract).
+5. **Circuit breaking** — an optional
+   :class:`~repro.serving.breaker.CircuitBreaker` records every shard
+   outcome; once tripped, subsequent shards bypass the pool and run
+   **in-parent** (the degraded path: same item semantics, no process
+   isolation) until a half-open probe succeeds.
+
+Everything reports through the standard obs surface: ``shard_retry``
+events (actions ``retry``/``bisect``/``requeue``/``quarantine``), the
+``serving.crashes`` / ``serving.retried_shards`` / ``serving.bisected_shards``
+counters, and the run report's "Failure containment" section.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exceptions import ConfigError, WorkerCrashError
+from repro.obs import emit_event, metrics, span
+from repro.resilience import Deadline, ItemOutcome, QuarantineEntry
+from repro.serving.executor import (
+    ShardResult,
+    ShardTask,
+    mp_context,
+    run_shard_in_process,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.summarizer import STMaker
+    from repro.serving.breaker import CircuitBreaker
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRetryPolicy:
+    """Bounds on how hard the supervisor fights for a lost shard.
+
+    ``max_retries`` is per *shard identity*: a bisected half starts with
+    a fresh attempt budget (it is new evidence — the crash may have been
+    the other half's fault).  The backoff schedule is the same
+    deterministic geometric progression as
+    :class:`~repro.resilience.RetryPolicy`.  ``hang_timeout_s`` overrides
+    the progress window used for hang detection; when ``None`` the window
+    is ``deadline_s + hang_grace_s`` (and unbounded when there is no
+    deadline either — hang detection needs *some* notion of "too long").
+    ``hang_grace_s`` must comfortably exceed the slowest single item:
+    the per-shard deadline bounds when the last item may *start*, the
+    grace covers how long it may then run.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    hang_timeout_s: float | None = None
+    hang_grace_s: float = 30.0
+    #: How long to let a broken pool's survivor futures settle so work
+    #: that finished before the crash is preserved, not re-run.
+    settle_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0.0:
+            raise ConfigError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0.0:
+            raise ConfigError(
+                f"hang_timeout_s must be > 0, got {self.hang_timeout_s}"
+            )
+        if self.hang_grace_s < 0.0:
+            raise ConfigError(f"hang_grace_s must be >= 0, got {self.hang_grace_s}")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before re-running a shard charged *attempt* times (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempts are 1-based, got {attempt}")
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def hang_window_s(self, deadline_s: float | None) -> float | None:
+        """The no-progress window before in-flight shards count as hung."""
+        if self.hang_timeout_s is not None:
+            return self.hang_timeout_s
+        if deadline_s is not None:
+            return deadline_s + self.hang_grace_s
+        return None
+
+
+class _Unit:
+    """One supervised shard: its task plus how often it was charged."""
+
+    __slots__ = ("task", "attempts")
+
+    def __init__(self, task: ShardTask, attempts: int = 0) -> None:
+        self.task = task
+        self.attempts = attempts
+
+
+def run_shard_local(stmaker: "STMaker", task: ShardTask) -> ShardResult:
+    """Serve one shard in the parent process (the degraded path).
+
+    Same items, same ``STMaker._summarize_item`` semantics, no process
+    isolation: telemetry records into the live parent registry (so the
+    returned result carries ``telemetry=None`` — nothing to merge), and
+    crash-grade faults raise :class:`WorkerCrashError` instead of dying,
+    which quarantines the poison item exactly as the serial path would.
+    """
+    sleeper = task.sleeper if task.sleeper is not None else time.sleep
+    deadline = Deadline(task.deadline_s)
+    emit_event(
+        "shard_start", shard_id=task.shard_id, items=len(task.items),
+        degraded=True,
+    )
+    started = time.perf_counter()
+    outcomes: list[ItemOutcome] = []
+    ok = quarantined = 0
+    with span("shard", shard_id=task.shard_id, items=len(task.items), degraded=True):
+        for index, raw in zip(task.indices, task.items):
+            outcome = stmaker._summarize_item(
+                index, raw, k=task.k,
+                sanitize=task.sanitize, sanitizer_config=task.sanitizer_config,
+                strict=task.strict, retry=task.retry,
+                deadline=deadline, sleeper=sleeper, shard_id=task.shard_id,
+            )
+            outcomes.append(outcome)
+            if outcome.summary is not None:
+                ok += 1
+            else:
+                quarantined += 1
+    duration_ms = (time.perf_counter() - started) * 1000.0
+    rate = len(task.items) / (duration_ms / 1000.0) if duration_ms > 0.0 else 0.0
+    emit_event(
+        "shard_end", shard_id=task.shard_id, items=len(task.items),
+        ok=ok, quarantined=quarantined,
+        duration_ms=duration_ms, items_per_s=rate, degraded=True,
+    )
+    return ShardResult(
+        shard_id=task.shard_id, outcomes=tuple(outcomes),
+        ok=ok, quarantined=quarantined,
+        duration_ms=duration_ms, items_per_s=rate, telemetry=None,
+    )
+
+
+def supervise_process_shards(
+    tasks: Sequence[ShardTask],
+    *,
+    workers: int,
+    policy: ShardRetryPolicy,
+    fold: Callable[[ShardResult], None],
+    local_runner: Callable[[ShardTask], ShardResult],
+    breaker: "CircuitBreaker | None" = None,
+    max_in_flight: int | None = None,
+    deadline_s: float | None = None,
+    sleeper: Callable[[float], None] = time.sleep,
+    strict: bool = False,
+) -> None:
+    """Run *tasks* on supervised worker processes; deliver results via *fold*.
+
+    Completes every task exactly once — as a worker result, a degraded
+    in-parent result (breaker open), or a synthesized crash-quarantine
+    result — no matter how many workers die on the way.  Worker
+    exceptions that are *not* pool breakage (strict-mode item errors,
+    genuine bugs) propagate to the caller unchanged.  See the module
+    docstring for the containment model.
+    """
+    queue: deque[_Unit] = deque(_Unit(task) for task in tasks)
+    next_shard_id = max((t.shard_id for t in tasks), default=-1) + 1
+    pending: dict[Future, _Unit] = {}
+    serialize = False
+    m = metrics()
+    hang_window = policy.hang_window_s(deadline_s)
+    pool = _new_pool(workers)
+
+    def charge(unit: _Unit, reason: str) -> None:
+        """The retry → bisect → quarantine ladder for an attributed loss."""
+        nonlocal next_shard_id
+        unit.attempts += 1
+        shard_id = unit.task.shard_id
+        if unit.attempts <= policy.max_retries:
+            m.counter("serving.retried_shards").inc()
+            emit_event(
+                "shard_retry", shard_id=shard_id, action="retry",
+                attempt=unit.attempts, reason=reason,
+                items=len(unit.task.items),
+            )
+            delay = policy.delay_s(unit.attempts)
+            if delay > 0.0:
+                sleeper(delay)
+            queue.appendleft(unit)
+            return
+        if len(unit.task.items) > 1:
+            mid = len(unit.task.items) // 2
+            halves = []
+            for lo, hi in ((0, mid), (mid, len(unit.task.items))):
+                halves.append(_Unit(dataclasses.replace(
+                    unit.task,
+                    shard_id=next_shard_id,
+                    indices=unit.task.indices[lo:hi],
+                    items=unit.task.items[lo:hi],
+                )))
+                next_shard_id += 1
+            m.counter("serving.bisected_shards").inc()
+            emit_event(
+                "shard_retry", shard_id=shard_id, action="bisect",
+                attempt=unit.attempts, reason=reason,
+                halves=[h.task.shard_id for h in halves],
+            )
+            for half in reversed(halves):
+                queue.appendleft(half)
+            return
+        # A single-item shard that exhausted its retries: proven poison.
+        message = (
+            f"worker process died ({reason}) on every attempt while item "
+            f"{unit.task.indices[0]} was the only one in flight; "
+            f"isolated after {unit.attempts} attempt(s)"
+        )
+        if strict:
+            raise WorkerCrashError(message)
+        emit_event(
+            "shard_retry", shard_id=shard_id, action="quarantine",
+            attempt=unit.attempts, reason=reason,
+        )
+        fold(_synthesize_crash_result(unit, message))
+
+    def handle_incident(lost: list[_Unit], reason: str) -> None:
+        """Classify one worker-death event over the *lost* in-flight units."""
+        nonlocal serialize
+        m.counter("serving.crashes").inc()
+        if breaker is not None:
+            breaker.record_failure()
+        if len(lost) == 1:
+            charge(lost[0], reason)
+            return
+        # Ambiguous: the pool cannot say which shard killed the worker.
+        # Requeue everything uncharged and recover serialized, where every
+        # further loss is exactly attributable.
+        serialize = True
+        for unit in reversed(lost):
+            emit_event(
+                "shard_retry", shard_id=unit.task.shard_id, action="requeue",
+                reason=reason, charged=False,
+            )
+            queue.appendleft(unit)
+
+    def drain_settled(reason: str) -> list[_Unit]:
+        """Fold what finished before the pool died; return the lost units.
+
+        Each pending future is consulted exactly once, so a shard can
+        never be both folded and requeued (which would duplicate items
+        at reassembly).
+        """
+        lost: list[_Unit] = []
+        for future, unit in pending.items():
+            sr = None
+            if future.done() and not future.cancelled():
+                try:
+                    sr = future.result(timeout=0)
+                except BaseException:
+                    sr = None
+            if sr is not None:
+                if breaker is not None:
+                    breaker.record_success()
+                fold(sr)
+            else:
+                lost.append(unit)
+        pending.clear()
+        return lost
+
+    try:
+        while queue or pending:
+            limit = 1 if serialize else (max_in_flight or workers * 2)
+            while queue and len(pending) < limit:
+                unit = queue.popleft()
+                if breaker is not None and not breaker.allow():
+                    m.counter("serving.breaker.denied_shards").inc()
+                    fold(local_runner(unit.task))
+                    continue
+                pending[pool.submit(run_shard_in_process, unit.task)] = unit
+            if not pending:
+                continue
+            done, _ = wait(
+                list(pending), timeout=hang_window, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # No shard made progress inside the hang window: kill the
+                # stuck workers and treat the in-flight shards as lost.
+                lost = drain_settled("hang")
+                _kill_pool(pool)
+                pool = _new_pool(workers)
+                handle_incident(lost, "hang")
+                continue
+            broken = False
+            lost = []
+            for future in done:
+                unit = pending.pop(future)
+                try:
+                    sr = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    lost.append(unit)
+                except Exception as exc:
+                    # Not pool breakage: a strict-mode item error or a real
+                    # bug.  Containment does not swallow those — but the
+                    # caller's contract is "first failure in shard order",
+                    # so let the other in-flight shards settle and raise
+                    # the lowest-shard-id failure among them.
+                    _raise_first_by_shard_order(exc, unit, pending, pool)
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    fold(sr)
+            if broken:
+                # The pool is broken; its remaining futures settle fast
+                # (the executor fails them all).  Let them, keep finished
+                # work, replace the pool, and attribute the loss.
+                if pending:
+                    wait(list(pending), timeout=policy.settle_timeout_s)
+                lost.extend(drain_settled("crash"))
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = _new_pool(workers)
+                handle_incident(lost, "crash")
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _raise_first_by_shard_order(
+    exc: Exception,
+    unit: _Unit,
+    pending: dict[Future, _Unit],
+    pool: ProcessPoolExecutor,
+) -> None:
+    """Abort with the lowest-shard-id worker exception, as serial would.
+
+    Strict mode promises the *first* failure in input order.  Shards
+    complete in any order under the supervisor, so when one raises we
+    briefly let the other in-flight shards settle and pick the failure
+    with the smallest shard id (input order and shard order coincide for
+    the contiguous shard modes).  ``BrokenExecutor`` losses during the
+    drain are ignored — we are aborting anyway.
+    """
+    failures: list[tuple[int, Exception]] = [(unit.task.shard_id, exc)]
+    if pending:
+        wait(list(pending), timeout=30.0)
+        for future, other in pending.items():
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                future.result(timeout=0)
+            except BrokenExecutor:
+                continue
+            except Exception as other_exc:
+                failures.append((other.task.shard_id, other_exc))
+    pool.shutdown(wait=False, cancel_futures=True)
+    raise min(failures, key=lambda pair: pair[0])[1]
+
+
+def _synthesize_crash_result(unit: _Unit, message: str) -> ShardResult:
+    """A quarantined :class:`ShardResult` for a proven-poison shard.
+
+    The worker that could have reported telemetry for these items died
+    with them, so the batch counters (``resilience.batch.items`` /
+    ``.quarantined``) and the ``quarantine`` event are recorded here,
+    parent-side — keeping the batch totals identical to a serial run
+    that quarantined the same items.
+    """
+    m = metrics()
+    outcomes = []
+    for index, raw in zip(unit.task.indices, unit.task.items):
+        m.counter("resilience.batch.items").inc()
+        m.counter("resilience.batch.quarantined").inc()
+        emit_event(
+            "quarantine", trajectory_id=raw.trajectory_id,
+            index=index, error_type="WorkerCrashError",
+            attempts=unit.attempts, error=message,
+        )
+        outcomes.append(ItemOutcome(index, None, QuarantineEntry(
+            index, raw.trajectory_id, "WorkerCrashError", message,
+            unit.attempts, shard_id=unit.task.shard_id,
+        ), None))
+    return ShardResult(
+        shard_id=unit.task.shard_id, outcomes=tuple(outcomes),
+        ok=0, quarantined=len(outcomes),
+        duration_ms=0.0, items_per_s=0.0, telemetry=None,
+    )
+
+
+def _new_pool(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context())
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool whose workers stopped making progress.
+
+    Reaches into the executor's live worker table (no public API exposes
+    it) to SIGTERM the stuck processes before shutdown; shutdown alone
+    would *join* them and hang the parent right behind the worker.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        with contextlib.suppress(Exception):
+            process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)

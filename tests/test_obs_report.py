@@ -125,7 +125,7 @@ class TestBuiltReport:
         assert data["quality"]["summaries"] == report.quality["summaries"]
         assert set(data) == {
             "created_unix", "environment", "stages", "resilience",
-            "quality", "metrics", "serving",
+            "quality", "metrics", "serving", "containment",
         }
 
     def test_write_pair(self, report, tmp_path):
@@ -153,6 +153,56 @@ class TestDegradedReport:
         batch = scenario.stmaker.summarize_many([base_trip.raw], k=2)
         report = build_run_report([summary], batches=[batch])
         assert report.quality["summaries"] == 2
+
+
+class TestContainmentSection:
+    def test_clean_run_has_no_containment_section(self, scenario, base_trip):
+        registry = obs.enable_metrics()
+        batch = scenario.stmaker.summarize_many([base_trip.raw], k=2)
+        report = build_run_report(batches=[batch], registry=registry)
+        assert report.containment == {}
+        assert "## Failure containment" not in report.to_markdown()
+
+    def test_containment_counters_surface(self):
+        from repro.serving import CircuitBreaker
+
+        registry = obs.enable_metrics()
+        registry.counter("serving.crashes").inc(2)
+        registry.counter("serving.retried_shards").inc(3)
+        breaker = CircuitBreaker("serving.process", min_volume=1)
+        breaker.record_failure()  # trips: volume 1, rate 1.0
+        report = build_run_report(registry=registry)
+        assert report.containment["crashes"] == 2
+        assert report.containment["retried_shards"] == 3
+        assert report.containment["breaker_trips"] == 1
+        # Untouched counters are zero-filled once any activity exists.
+        assert report.containment["shed_items"] == 0
+        assert report.containment["breakers"] == [
+            {"name": "serving.process", "state": "open"}
+        ]
+        md = report.to_markdown()
+        assert "## Failure containment" in md
+        assert "worker crash incidents: **2**" in md
+        assert "| serving.process | open |" in md
+
+    def test_quarantine_post_mortem_table(self, scenario, base_trip):
+        from repro.resilience import FaultSpec
+
+        injector = FaultInjector([FaultSpec(
+            stage="extract", kind="crash", times=None,
+            trajectory_id=base_trip.raw.trajectory_id,
+        )])
+        with injector.installed(scenario.stmaker):
+            batch = scenario.stmaker.summarize_many([base_trip.raw], k=2)
+        report = build_run_report(batches=[batch])
+        [entry] = report.resilience["quarantine_entries"]
+        assert entry["error_type"] == "WorkerCrashError"
+        assert entry["total_duration_s"] >= 0.0
+        md = report.to_markdown()
+        assert "Quarantine post-mortem:" in md
+        # Serial path: no shard served the item, rendered as "-".
+        assert "| WorkerCrashError | 1 |" in md
+        assert md.splitlines()[-1].endswith("| - |") or "| - |" in md
 
 
 def test_run_report_dataclass_roundtrip():

@@ -1,0 +1,245 @@
+"""Crash-grade fault kinds, deadline clamping, and quarantine forensics.
+
+The chaos *integration* story (worker processes actually dying under the
+shard supervisor) lives in ``test_serving_chaos.py``; this file pins the
+building blocks it stands on: the :data:`FAULT_KINDS` vocabulary, the
+in-parent behaviour of crash-grade specs (raise
+:class:`~repro.exceptions.WorkerCrashError`, never kill the test runner),
+per-trajectory fault targeting, the clamped :class:`Deadline` arithmetic,
+and the forensic fields on :class:`QuarantineEntry`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError, DeadlineExceeded, WorkerCrashError
+from repro.resilience import (
+    FAULT_KINDS,
+    Deadline,
+    FaultInjector,
+    FaultSpec,
+    QuarantineEntry,
+)
+from repro.resilience.faultinject import CRASH_EXIT_CODE, DEFAULT_HANG_S
+from repro.trajectory import RawTrajectory
+
+
+class _FakeClock:
+    """A settable monotonic clock for deadline tests."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+# -- Deadline clamping --------------------------------------------------------
+
+
+class TestDeadlineClamp:
+    def test_remaining_clamps_at_zero_after_overshoot(self):
+        clock = _FakeClock(100.0)
+        deadline = Deadline(2.0, clock=clock)
+        clock.t = 110.0  # 8 seconds past the budget
+        assert deadline.remaining_s() == 0.0
+        assert deadline.expired
+
+    def test_remaining_counts_down_then_floors(self):
+        clock = _FakeClock(0.0)
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(1.0)
+        clock.t = 0.25
+        assert deadline.remaining_s() == pytest.approx(0.75)
+        assert not deadline.expired
+        clock.t = 3.0
+        assert deadline.remaining_s() == 0.0
+        assert deadline.expired
+
+    def test_expired_consistent_with_clamp(self):
+        """``expired`` and ``remaining_s() == 0.0`` must never disagree."""
+        clock = _FakeClock(0.0)
+        deadline = Deadline(0.5, clock=clock)
+        for t in (0.0, 0.49, 0.5, 0.51, 100.0):
+            clock.t = t
+            assert deadline.expired == (deadline.remaining_s() == 0.0)
+
+    def test_repr_never_shows_negative_remaining(self):
+        clock = _FakeClock(0.0)
+        deadline = Deadline(1.0, clock=clock)
+        clock.t = 50.0
+        assert "-" not in repr(deadline)
+
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining_s() == math.inf
+        assert not deadline.expired
+        deadline.check()  # never raises
+
+    def test_zero_budget_is_immediately_expired(self):
+        deadline = Deadline(0.0, clock=_FakeClock(5.0))
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("unit test")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            Deadline(-1.0)
+
+
+# -- fault kinds in the parent process ----------------------------------------
+
+
+class TestFaultKinds:
+    def test_vocabulary(self):
+        assert FAULT_KINDS == ("error", "crash", "hang", "oom-sim")
+        assert CRASH_EXIT_CODE == 137
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(stage="extract", kind="segfault")
+
+    @pytest.mark.parametrize("kind", ["crash", "oom-sim"])
+    def test_crash_grade_kinds_raise_in_parent(self, kind):
+        """Outside a worker process a crash must not kill the interpreter."""
+        injector = FaultInjector([FaultSpec(stage="extract", kind=kind)])
+        with pytest.raises(WorkerCrashError):
+            injector.before("extract")
+        assert injector.fired("extract") == 1
+
+    def test_hang_sleeps_default_then_raises(self):
+        slept: list[float] = []
+        injector = FaultInjector(
+            [FaultSpec(stage="partition", kind="hang")], sleeper=slept.append
+        )
+        with pytest.raises(WorkerCrashError):
+            injector.before("partition")
+        assert slept == [DEFAULT_HANG_S]
+
+    def test_hang_honours_explicit_latency(self):
+        slept: list[float] = []
+        injector = FaultInjector(
+            [FaultSpec(stage="partition", kind="hang", latency_s=1.5)],
+            sleeper=slept.append,
+        )
+        with pytest.raises(WorkerCrashError):
+            injector.before("partition")
+        assert slept == [1.5]
+
+    def test_trajectory_id_targeting(self):
+        """A targeted spec only fires for its item, under any call order."""
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", kind="crash", times=None,
+                       trajectory_id="poison")]
+        )
+        injector.before("extract", "healthy-1")
+        injector.before("extract")  # untagged call: not the target either
+        assert injector.fired("extract") == 0
+        with pytest.raises(WorkerCrashError):
+            injector.before("extract", "poison")
+        with pytest.raises(WorkerCrashError):
+            injector.before("extract", "poison")  # times=None keeps firing
+        assert injector.fired("extract") == 2
+
+    def test_error_kind_unchanged(self):
+        """The default kind keeps the original latency-then-raise shape."""
+        slept: list[float] = []
+        injector = FaultInjector(
+            [FaultSpec(stage="select", latency_s=0.2)], sleeper=slept.append
+        )
+        with pytest.raises(Exception, match="injected fault"):
+            injector.before("select")
+        assert slept == [0.2]
+
+    def test_crash_spec_pickles(self):
+        """Crash specs must ship across the process boundary as plain data."""
+        import pickle
+
+        spec = FaultSpec(stage="extract", kind="crash", times=None,
+                         trajectory_id="poison")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+# -- serial pipeline under crash-grade faults ---------------------------------
+
+
+@pytest.fixture(scope="module")
+def trips(scenario) -> list[RawTrajectory]:
+    rng = np.random.default_rng(77)
+    sims = [
+        scenario.simulate_trips(1, depart_time=(7.0 + 0.5 * i) * 3600.0, rng=rng)[0]
+        for i in range(6)
+    ]
+    return [
+        RawTrajectory(s.raw.points, f"ft-{i:02d}") for i, s in enumerate(sims)
+    ]
+
+
+class TestSerialCrashQuarantine:
+    def test_crash_fault_quarantines_only_the_poison_item(self, scenario, trips):
+        """Serially, a crash-grade fault is a typed quarantine, not a retry.
+
+        ``WorkerCrashError`` is a ``ReproError`` but *not* a
+        ``TransientError``: the batch loop quarantines it on the first
+        attempt instead of burning retries on an item that kills workers.
+        This serial verdict is the reference the supervised process path
+        must match (see ``test_serving_chaos.py``).
+        """
+        stmaker = scenario.stmaker
+        poison = trips[2].trajectory_id
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", kind="crash", times=None,
+                       trajectory_id=poison)]
+        )
+        with injector.installed(stmaker):
+            batch = stmaker.summarize_many(trips, k=2)
+
+        assert batch.ok_count == len(trips) - 1
+        [entry] = batch.quarantined
+        assert entry.index == 2
+        assert entry.trajectory_id == poison
+        assert entry.error_type == "WorkerCrashError"
+        assert entry.attempts == 1
+        assert entry.shard_id is None  # serial path: no shard served it
+        assert entry.total_duration_s >= 0.0
+
+    def test_crash_fault_raises_in_strict_mode(self, scenario, trips):
+        stmaker = scenario.stmaker
+        injector = FaultInjector(
+            [FaultSpec(stage="extract", kind="crash", times=None,
+                       trajectory_id=trips[0].trajectory_id)]
+        )
+        with injector.installed(stmaker):
+            with pytest.raises(WorkerCrashError):
+                stmaker.summarize_many(trips, k=2, strict=True)
+
+
+# -- QuarantineEntry forensics ------------------------------------------------
+
+
+class TestQuarantineEntryForensics:
+    def test_to_dict_carries_forensic_fields(self):
+        entry = QuarantineEntry(
+            3, "t-3", "WorkerCrashError", "boom", 2,
+            total_duration_s=1.25, shard_id=7,
+        )
+        data = entry.to_dict()
+        assert data["attempts"] == 2
+        assert data["total_duration_s"] == 1.25
+        assert data["shard_id"] == 7
+
+    def test_timing_and_placement_excluded_from_equality(self):
+        """Differential suites compare what failed and why — not where."""
+        a = QuarantineEntry(0, "t", "E", "m", 1, total_duration_s=0.1, shard_id=0)
+        b = QuarantineEntry(0, "t", "E", "m", 1, total_duration_s=9.9, shard_id=5)
+        assert a == b
+        assert a != QuarantineEntry(0, "t", "E", "m", 2)
+
+    def test_positional_construction_stays_valid(self):
+        entry = QuarantineEntry(0, "t", "E", "m", 1)
+        assert entry.total_duration_s == 0.0
+        assert entry.shard_id is None

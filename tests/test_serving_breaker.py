@@ -1,0 +1,287 @@
+"""Circuit breaker: the state machine, the registry, and degraded routing.
+
+The unit half drives :class:`~repro.serving.CircuitBreaker` through every
+transition with a fake clock; the integration half proves that an *open*
+breaker reroutes process-executor shards to the in-parent degraded path
+with results element-wise identical to serial — the pool is bypassed, the
+batch is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    all_breakers,
+    get_breaker,
+    reset_breakers,
+)
+from repro.trajectory import RawTrajectory
+
+
+class _FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return _FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        "test", failure_threshold=0.5, min_volume=4, window=8,
+        cooldown_s=10.0, clock=clock,
+    )
+
+
+@pytest.fixture()
+def clean_obs():
+    yield
+    obs.disable_metrics()
+    obs.disable_tracing()
+    obs.disable_events()
+
+
+def _trip(breaker: CircuitBreaker, n: int = 4) -> None:
+    for _ in range(n):
+        breaker.record_failure()
+
+
+# -- state machine ------------------------------------------------------------
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_no_trip_below_min_volume(self, breaker):
+        for _ in range(3):  # min_volume is 4
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.failure_rate() == 1.0
+
+    def test_no_trip_below_failure_threshold(self, breaker):
+        for _ in range(6):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()  # 2/8 = 0.25 < 0.5
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_at_volume_and_threshold(self, breaker):
+        _trip(breaker)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_mixed_window_trips_at_exact_threshold(self, breaker):
+        for outcome in (False, True, False, True):  # 2/4 = 0.5 = threshold
+            if outcome:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        assert breaker.state == "open"
+
+    def test_window_slides_old_failures_out(self, clock):
+        breaker = CircuitBreaker(
+            "slide", failure_threshold=0.5, min_volume=4, window=4,
+            cooldown_s=10.0, clock=clock,
+        )
+        breaker.record_failure()
+        for _ in range(4):  # pushes the one failure out of the window
+            breaker.record_success()
+        breaker.record_failure()  # 1/4 = 0.25 < 0.5
+        assert breaker.state == "closed"
+
+    def test_cooldown_half_opens_with_single_probe(self, breaker, clock):
+        _trip(breaker)
+        clock.t = 9.9
+        assert not breaker.allow()
+        clock.t = 10.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the one probe
+        assert not breaker.allow()  # everyone else still degraded
+        assert not breaker.allow()
+
+    def test_probe_success_closes_and_clears_window(self, breaker, clock):
+        _trip(breaker)
+        clock.t = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failure_rate() == 0.0  # fresh start, old storm gone
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, breaker, clock):
+        _trip(breaker)
+        clock.t = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.t = 20.0  # a full cooldown after the re-trip
+        assert breaker.state == "half_open"
+
+    def test_reset_restores_pristine_closed(self, breaker):
+        _trip(breaker)
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.failure_rate() == 0.0
+        assert breaker.allow()
+
+    def test_snapshot(self, breaker):
+        _trip(breaker)
+        snap = breaker.snapshot()
+        assert snap["name"] == "test"
+        assert snap["state"] == "open"
+        assert snap["failure_rate"] == 1.0
+        assert snap["volume"] == 4
+        assert snap["trips"] == 1
+
+    def test_config_validation(self, clock):
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", failure_threshold=0.0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", failure_threshold=1.5)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", min_volume=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", min_volume=8, window=4)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", cooldown_s=-1.0)
+
+
+# -- observability ------------------------------------------------------------
+
+
+class TestBreakerObservability:
+    def test_trip_and_recovery_emit_events_and_metrics(self, clock, clean_obs):
+        registry = obs.enable_metrics(MetricsRegistry())
+        log = obs.EventLog()
+        obs.enable_events().subscribe(log)
+        breaker = CircuitBreaker(
+            "evt", min_volume=4, cooldown_s=10.0, clock=clock
+        )
+        _trip(breaker)
+
+        [opened] = log.events("breaker_open")
+        assert opened.payload["breaker"] == "evt"
+        assert opened.payload["failure_rate"] == 1.0
+        assert registry.counter("serving.breaker.trips").value == 1.0
+        assert registry.gauge("serving.breaker.evt.state").value == float(
+            BREAKER_STATES.index("open")
+        )
+
+        clock.t = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        [closed] = log.events("breaker_close")
+        assert closed.payload["breaker"] == "evt"
+        assert registry.gauge("serving.breaker.evt.state").value == float(
+            BREAKER_STATES.index("closed")
+        )
+
+
+# -- registry -----------------------------------------------------------------
+
+
+class TestRegistry:
+    @pytest.fixture(autouse=True)
+    def _isolated_registry(self):
+        reset_breakers()
+        yield
+        reset_breakers()
+
+    def test_one_name_one_breaker(self):
+        a = get_breaker("serving.process")
+        b = get_breaker("serving.process")
+        assert a is b
+        assert all_breakers() == (a,)
+
+    def test_kwargs_only_configure_on_creation(self):
+        a = get_breaker("x", cooldown_s=5.0)
+        b = get_breaker("x", cooldown_s=99.0)
+        assert b is a
+        assert a.cooldown_s == 5.0
+
+    def test_reset_breakers_drops_everything(self):
+        get_breaker("x")
+        reset_breakers()
+        assert all_breakers() == ()
+
+
+# -- integration: open breaker reroutes process shards ------------------------
+
+
+@pytest.fixture(scope="module")
+def trips(scenario) -> list[RawTrajectory]:
+    rng = np.random.default_rng(55)
+    sims = [
+        scenario.simulate_trips(1, depart_time=(8.0 + 0.6 * i) * 3600.0, rng=rng)[0]
+        for i in range(6)
+    ]
+    return [
+        RawTrajectory(s.raw.points, f"bt-{i:02d}") for i, s in enumerate(sims)
+    ]
+
+
+class TestDegradedRouting:
+    def test_open_breaker_serves_batch_in_parent(self, scenario, trips, clean_obs):
+        """An open breaker must degrade the *path*, never the *batch*."""
+        stmaker = scenario.stmaker
+        serial = stmaker.summarize_many(trips, k=2)
+
+        registry = obs.enable_metrics(MetricsRegistry())
+        log = obs.EventLog()
+        obs.enable_events().subscribe(log)
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            "route-test", min_volume=2, cooldown_s=1e9, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+        parallel = stmaker.summarize_many(
+            trips, k=2, workers=2, shard_size=2, executor="process",
+            breaker=breaker,
+        )
+
+        assert parallel.ok_count == serial.ok_count
+        assert parallel.quarantined == serial.quarantined
+        for ours, theirs in zip(parallel.summaries, serial.summaries, strict=True):
+            assert ours.trajectory_id == theirs.trajectory_id
+            assert ours.text == theirs.text
+            assert ours.partitions == theirs.partitions
+        # Every shard was denied the pool and ran degraded in-parent.
+        assert registry.counter("serving.breaker.denied_shards").value == 3.0
+        ends = log.events("shard_end")
+        assert len(ends) == 3
+        assert all(e.payload.get("degraded") for e in ends)
+
+    def test_closed_breaker_records_shard_successes(self, scenario, trips, clean_obs):
+        stmaker = scenario.stmaker
+        breaker = CircuitBreaker("healthy", min_volume=2, clock=_FakeClock())
+        stmaker.summarize_many(
+            trips, k=2, workers=2, shard_size=2, executor="process",
+            breaker=breaker,
+        )
+        assert breaker.state == "closed"
+        assert breaker.failure_rate() == 0.0
+        snap = breaker.snapshot()
+        assert snap["volume"] == 3  # one success per shard

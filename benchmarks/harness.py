@@ -332,6 +332,65 @@ def check_trend(
     return findings
 
 
+# -- regression attribution ----------------------------------------------------
+
+
+def profile_stages(fn: Callable[[], object]) -> dict[str, float]:
+    """One traced run of *fn*: per-stage span totals, in ms.
+
+    Uses a private :class:`~repro.obs.TraceCollector` so the profiling
+    pass never mixes with a collector the caller may have enabled; the
+    prior collector (if any) is restored afterwards.
+    """
+    from repro import obs
+
+    collector = obs.TraceCollector()
+    prior = obs.get_collector()
+    obs.enable_tracing(collector)
+    try:
+        fn()
+    finally:
+        if prior is not None:
+            obs.enable_tracing(prior)
+        else:
+            obs.disable_tracing()
+    return {total.name: total.total_ms for total in collector.stage_totals()}
+
+
+def attribute_trend_regression(
+    name: str,
+    profile: dict[str, float],
+    history: list[dict],
+) -> list[dict[str, object]]:
+    """Per-stage diff of this run's span profile vs the last recorded one.
+
+    When the trend gate trips, "the median got slower" is the *what*; this
+    is the *where* — which pipeline stages account for the movement.  The
+    reference is the most recent history record carrying a
+    ``stage_profile`` for *name* (each gated run appends its own, so the
+    comparison is run-over-run).  Rows are sorted by absolute delta,
+    biggest contributor first; empty when no prior profile exists.
+    """
+    prior_profile: dict[str, object] | None = None
+    for record in reversed(history):
+        profiles = record.get("stage_profile")
+        if isinstance(profiles, dict) and isinstance(profiles.get(name), dict):
+            prior_profile = profiles[name]
+            break
+    if not prior_profile:
+        return []
+    rows: list[dict[str, object]] = []
+    for stage in sorted(set(profile) | set(prior_profile)):
+        now = float(profile.get(stage, 0.0))
+        then = float(prior_profile.get(stage, 0.0))  # type: ignore[arg-type]
+        rows.append({
+            "stage": stage, "now_ms": now, "then_ms": then,
+            "delta_ms": now - then,
+        })
+    rows.sort(key=lambda row: -abs(row["delta_ms"]))  # type: ignore[arg-type]
+    return rows
+
+
 # -- smoke suite --------------------------------------------------------------
 
 
@@ -519,10 +578,14 @@ def main(argv: list[str] | None = None) -> int:
         print("gate: all benchmarks within tolerance", file=sys.stderr)
 
     trend_findings: list[dict[str, object]] = []
+    stage_profiles: dict[str, dict[str, float]] = {}
     if args.trend_window > 0:
         # Judge against the recent history trend, not just the committed
         # one-shot baseline — the history file persists across CI runs.
+        # One traced pass per benchmark records where the time went, so a
+        # tripped gate can name the stages that moved, not just the total.
         history = load_history(args.history, mode=mode)
+        stage_profiles = {name: profile_stages(fn) for name, fn in suite.items()}
         trend_findings = check_trend(
             results, history, window=args.trend_window
         )
@@ -542,6 +605,23 @@ def main(argv: list[str] | None = None) -> int:
                     f"({finding['delta_pct']:+.1f}%)",
                     file=sys.stderr,
                 )
+                name = str(finding["name"])
+                rows = attribute_trend_regression(
+                    name, stage_profiles.get(name, {}), history
+                )
+                if not rows:
+                    print(
+                        "trend:   (no prior stage profile to attribute "
+                        "against)",
+                        file=sys.stderr,
+                    )
+                for row in rows[:5]:
+                    print(
+                        f"trend:   stage {row['stage']}: "
+                        f"{row['now_ms']:.3f} ms vs {row['then_ms']:.3f} ms "
+                        f"({row['delta_ms']:+.3f})",
+                        file=sys.stderr,
+                    )
         trend_regressed = [
             f for f in trend_findings if f["status"] == "regressed"
         ]
@@ -559,6 +639,9 @@ def main(argv: list[str] | None = None) -> int:
         append_history(
             results, path=args.history, mode=mode,
             gate=findings + trend_findings,
+            extra=(
+                {"stage_profile": stage_profiles} if stage_profiles else None
+            ),
         )
         print(f"history appended to {args.history}", file=sys.stderr)
     if args.update_baseline:

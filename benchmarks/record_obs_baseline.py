@@ -1,13 +1,15 @@
 """Record the observability no-op overhead baseline (``BENCH_obs.json``).
 
 Runs the Fig. 12 efficiency workload over the same scenario and trips —
-once fully disabled, once with tracing + metrics enabled, and once with
-the full always-on production stack (tracing + metrics + events + flight
-recorder) — and writes the paired per-trajectory means plus the relative
-overheads to ``BENCH_obs.json`` at the repository root.  The acceptance
-bars: the disabled ("no-op") path costs < 5 % relative to a build without
-any instrumentation, and the flight-recorder stack costs < 5 % relative
-to the disabled path, so it is safe to leave on in serving.
+once fully disabled, once with tracing + metrics enabled, once with the
+full always-on production stack (tracing + metrics + events + flight
+recorder), and once with that stack plus a subscribed SLO engine — and
+writes the paired per-trajectory means plus the relative overheads to
+``BENCH_obs.json`` at the repository root.  The acceptance bars: the
+disabled ("no-op") path costs < 5 % relative to a build without any
+instrumentation, and both the flight-recorder stack and the SLO stack
+cost < 5 % relative to the disabled path, so they are safe to leave on
+in serving.
 
 Timing goes through :mod:`harness` (``measure_interleaved``): the two
 configurations run round-robin and the median of several rounds is
@@ -71,6 +73,28 @@ def run(rounds: int, n_trips: int) -> dict:
             obs.disable_tracing()
             obs.disable_metrics()
 
+    def slo() -> float:
+        # The flight stack plus an SLO engine on the bus.  This workload
+        # summarizes trajectories one call at a time (no batch), so no
+        # ``item_end`` events fire — what is measured is the engine's
+        # standing cost on the hot event stream: one extra subscriber
+        # dispatched and filtered per stage event, which is exactly the
+        # price of leaving it enabled in serving.
+        obs.enable_tracing(max_spans=500_000)
+        obs.enable_metrics()
+        obs.enable_flight_recorder(capacity=512)
+        obs.enable_slo([
+            obs.SLObjective(name="latency", kind="latency_p95", threshold_ms=500.0),
+        ])
+        try:
+            return _mean_ms(run_efficiency(scenario, n_trips=n_trips))
+        finally:
+            obs.disable_slo()
+            obs.disable_flight_recorder()
+            obs.disable_events()
+            obs.disable_tracing()
+            obs.disable_metrics()
+
     # The harness interleaves the configurations round-by-round; warmup
     # faults in caches and lazy structures on both paths before timing.
     stats = harness.measure_interleaved(
@@ -78,6 +102,7 @@ def run(rounds: int, n_trips: int) -> dict:
             "obs.disabled_mean_ms": disabled,
             "obs.enabled_mean_ms": enabled,
             "obs.flight_mean_ms": flight,
+            "obs.slo_mean_ms": slo,
         },
         repeats=rounds, warmup=1, sample="returned",
     )
@@ -86,6 +111,7 @@ def run(rounds: int, n_trips: int) -> dict:
     disabled_stats = stats["obs.disabled_mean_ms"]
     enabled_stats = stats["obs.enabled_mean_ms"]
     flight_stats = stats["obs.flight_mean_ms"]
+    slo_stats = stats["obs.slo_mean_ms"]
     return {
         "benchmark": "bench_fig12_efficiency (run_efficiency mean ms per trajectory)",
         "rounds": rounds,
@@ -102,18 +128,26 @@ def run(rounds: int, n_trips: int) -> dict:
             "median": flight_stats.median_ms,
             "rounds": list(flight_stats.samples_ms),
         },
+        "slo_ms": {
+            "median": slo_stats.median_ms,
+            "rounds": list(slo_stats.samples_ms),
+        },
         "enabled_overhead_pct": 100.0
         * (enabled_stats.median_ms - disabled_stats.median_ms)
         / disabled_stats.median_ms,
         "flight_overhead_pct": 100.0
         * (flight_stats.median_ms - disabled_stats.median_ms)
         / disabled_stats.median_ms,
+        "slo_overhead_pct": 100.0
+        * (slo_stats.median_ms - disabled_stats.median_ms)
+        / disabled_stats.median_ms,
         "note": (
             "'disabled' is the default no-op observability path; the < 5 % "
             "acceptance bound applies to it versus an uninstrumented build. "
             "'enabled' has tracing + metrics fully on; 'flight' adds the "
             "event bus with a subscribed flight recorder (the always-on "
-            "serving stack), also bounded at < 5 % versus disabled."
+            "serving stack); 'slo' further subscribes an SLO engine to the "
+            "bus.  Both stacks are bounded at < 5 % versus disabled."
         ),
     }
 

@@ -377,6 +377,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    spans = obs.load_spans(args.trace_file) if args.trace_file else []
+    events = obs.load_events(args.events_file) if args.events_file else []
+    if not spans and not events:
+        raise ReproError(
+            "nothing to analyze: pass --trace and/or --events artifacts "
+            "(from --trace-out / --events-out / flight-recorder dumps)"
+        )
+    print(obs.render_analysis(spans, events, top=args.top))
+    return 1 if args.check and obs.trace_problems(spans) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stmaker",
@@ -429,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--flight-dir", metavar="DIR", default=None,
         help="enable the black-box flight recorder; quarantines and "
         "degradations dump the recent event/span tail as JSONL into DIR",
+    )
+    group.add_argument(
+        "--slo", action="append", metavar="SPEC", default=None,
+        help="enforce a service-level objective while the command runs "
+        "(repeatable; e.g. 'p95_ms=500' or 'success=0.99,window=60'); "
+        "breaches emit slo_breach events and are summarized on stderr",
     )
     group.add_argument(
         "--profile", action="store_true",
@@ -582,6 +602,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after SECONDS (default: run until Ctrl-C)",
     )
     ops.set_defaults(func=_cmd_ops_serve)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="offline analysis of recorded observability artifacts",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    analyze = obs_sub.add_parser(
+        "analyze",
+        help="reconstruct traces, critical paths, and latency tables "
+        "from span/event artifacts",
+    )
+    # dest= keeps these clear of the run-command obs flags main() probes
+    # with getattr (a file path in args.trace would read as --trace).
+    analyze.add_argument(
+        "--trace", dest="trace_file", metavar="FILE", default=None,
+        help="span artifact: a --trace-out JSON dump, span JSONL, or a "
+        "flight-recorder capture",
+    )
+    analyze.add_argument(
+        "--events", dest="events_file", metavar="FILE", default=None,
+        help="event artifact: a --events-out JSONL stream or a "
+        "flight-recorder capture",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="traces/items to show in the ranked sections (default: 10)",
+    )
+    analyze.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any trace is malformed "
+        "(multiple roots, duplicate span ids, parent cycles)",
+    )
+    analyze.set_defaults(func=_cmd_obs_analyze)
     return parser
 
 
@@ -614,6 +667,15 @@ def main(argv: list[str] | None = None) -> int:
     if events_out:
         event_sink = obs.JsonlEventSink(events_out)
         obs.enable_events().subscribe(event_sink)
+    slo_specs = getattr(args, "slo", None) or []
+    if slo_specs:
+        try:
+            objectives = [obs.parse_slo(spec) for spec in slo_specs]
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        # Implies the event stream: objectives watch item_end events.
+        obs.enable_slo(objectives)
     flight_dir = getattr(args, "flight_dir", None)
     if flight_dir is not None:
         obs.enable_flight_recorder(dump_dir=flight_dir)
@@ -683,6 +745,17 @@ def main(argv: list[str] | None = None) -> int:
             logger.info(
                 "%d events written to %s", event_sink.written, events_out
             )
+        engine = obs.slo_engine()
+        if engine is not None:
+            for entry in engine.snapshot()["objectives"]:
+                breaches = entry.get("breaches", 0)
+                if breaches:
+                    print(
+                        f"slo: objective {entry['objective']['name']!r} "
+                        f"breached {breaches} time(s)",
+                        file=sys.stderr,
+                    )
+        obs.disable_slo()
         if ops_server is not None:
             obs.stop_ops_server()
         if flight_dir is not None:

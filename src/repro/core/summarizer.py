@@ -54,7 +54,19 @@ from repro.features import (
     normalized_vectors,
 )
 from repro.landmarks import LandmarkIndex
-from repro.obs import emit_event, metrics, span, stage_scope, timed_span
+from repro.obs import (
+    TraceContext,
+    emit_event,
+    events_enabled,
+    metrics,
+    span,
+    stage_scope,
+    stage_sink,
+    start_trace,
+    timed_span,
+    use_trace,
+    wall_clock_of,
+)
 from repro.resilience import (
     BatchProgress,
     BatchResult,
@@ -62,6 +74,7 @@ from repro.resilience import (
     DegradationEvent,
     DegradationReport,
     ItemOutcome,
+    LatencyBreakdown,
     QuarantineEntry,
     RetryPolicy,
 )
@@ -370,12 +383,18 @@ class STMaker:
                 admission=admission, tenant=tenant, priority=priority,
             )
         ticket = None
+        admission_wait_s = 0.0
         if admission is not None:
             # May raise OverloadError (shed="reject") — deliberately before
             # any work starts, so a shed batch costs nothing.
+            admit_started = time.perf_counter()
             ticket = admission.admit(len(items), tenant=tenant, priority=priority)
+            admission_wait_s = time.perf_counter() - admit_started
             if ticket.decision.k_override is not None:
                 k = ticket.decision.k_override
+        # Every item gets request identity from the moment the batch is
+        # admitted; queue wait is measured against this anchor.
+        batch_anchor_unix = time.time()
         retry = retry or RetryPolicy()
         deadline = Deadline(deadline_s)
         result = BatchResult()
@@ -408,9 +427,12 @@ class STMaker:
                         sanitize=sanitize, sanitizer_config=sanitizer_config,
                         strict=strict, retry=retry, deadline=deadline,
                         sleeper=sleeper,
+                        trace=start_trace(anchor_unix_s=batch_anchor_unix),
+                        admission_wait_s=admission_wait_s,
                     )
                     retries_seen += outcome.retries
                     result.sanitization.append(outcome.sanitization)
+                    result.latencies.append(outcome.latency)
                     if outcome.summary is not None:
                         result.summaries.append(outcome.summary)
                     if outcome.quarantine is not None:
@@ -441,6 +463,8 @@ class STMaker:
         deadline: Deadline,
         sleeper: Callable[[float], None],
         shard_id: int | None = None,
+        trace: TraceContext | None = None,
+        admission_wait_s: float = 0.0,
     ) -> ItemOutcome:
         """One batch item end to end: sanitize, summarize, retry, quarantine.
 
@@ -450,10 +474,25 @@ class STMaker:
         only in ``strict`` mode; otherwise every failure becomes the
         outcome's quarantine entry.  *shard_id* is pure provenance for
         that entry (``None`` on the serial path).
+
+        *trace* is the item's request identity: it is activated around the
+        whole item, so every span recorded inside — in whichever process —
+        carries its ``trace_id``, rooted at the ``item`` span opened here.
+        A :class:`~repro.resilience.LatencyBreakdown` is always recorded
+        (queue wait against ``trace.anchor_unix_s``, per-attempt exec
+        time, backoff, per-stage splits) and attached to the outcome.
         """
         m = metrics()
         m.counter("resilience.batch.items").inc()
         item_started = time.perf_counter()
+        breakdown = LatencyBreakdown(
+            trace_id=trace.trace_id if trace is not None else None,
+            admission_wait_s=admission_wait_s,
+        )
+        if trace is not None and trace.anchor_unix_s > 0.0:
+            breakdown.queue_wait_s = max(
+                0.0, wall_clock_of(item_started) - trace.anchor_unix_s
+            )
         if deadline.expired:
             m.counter("resilience.batch.quarantined").inc()
             message = (
@@ -465,58 +504,106 @@ class STMaker:
                 index=index, error_type="DeadlineExceeded", attempts=0,
                 error=message,
             )
+            self._note_item_end(m, raw.trajectory_id, index, False, breakdown)
             return ItemOutcome(index, None, QuarantineEntry(
                 index, raw.trajectory_id, "DeadlineExceeded", message, 0,
-                shard_id=shard_id,
-            ), None)
+                shard_id=shard_id, latency=breakdown,
+            ), None, latency=breakdown)
         attempts = 0
         retries = 0
         sanitization = None
-        try:
-            if sanitize:
-                raw, sanitization = sanitize_trajectory(raw, sanitizer_config)
-                if not sanitization.clean:
-                    emit_event(
-                        "sanitization", "sanitize", raw.trajectory_id,
-                        dropped=sanitization.dropped_total,
-                        reordered=sanitization.reordered,
-                    )
-            while True:
-                attempts += 1
-                try:
-                    summary = self.summarize(raw, k=k, strict=strict)
-                    m.counter("resilience.batch.ok").inc()
-                    return ItemOutcome(index, summary, None, sanitization, retries)
-                except TransientError as exc:
-                    if attempts > retry.max_retries:
-                        raise
-                    delay = retry.delay_s(attempts)
-                    if delay >= deadline.remaining_s():
-                        raise  # backing off would blow the budget
-                    m.counter("resilience.batch.retries").inc()
-                    retries += 1
-                    emit_event(
-                        "retry", trajectory_id=raw.trajectory_id,
-                        attempt=attempts, delay_s=delay,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                    if delay > 0.0:
-                        sleeper(delay)
-        except ReproError as exc:
-            if strict:
-                raise
-            m.counter("resilience.batch.quarantined").inc()
+        with use_trace(trace), span(
+            "item", index=index, trajectory_id=raw.trajectory_id,
+            shard_id=shard_id,
+        ) as item_span:
+            try:
+                with stage_sink(breakdown.note_stage):
+                    if sanitize:
+                        raw, sanitization = sanitize_trajectory(raw, sanitizer_config)
+                        if not sanitization.clean:
+                            emit_event(
+                                "sanitization", "sanitize", raw.trajectory_id,
+                                dropped=sanitization.dropped_total,
+                                reordered=sanitization.reordered,
+                            )
+                    while True:
+                        attempts += 1
+                        breakdown.attempts = attempts
+                        attempt_started = time.perf_counter()
+                        try:
+                            try:
+                                with span("attempt", attempt=attempts):
+                                    summary = self.summarize(raw, k=k, strict=strict)
+                            finally:
+                                breakdown.exec_s += (
+                                    time.perf_counter() - attempt_started
+                                )
+                            breakdown.total_s = time.perf_counter() - item_started
+                            m.counter("resilience.batch.ok").inc()
+                            self._note_item_end(
+                                m, raw.trajectory_id, index, True, breakdown
+                            )
+                            return ItemOutcome(
+                                index, summary, None, sanitization, retries,
+                                latency=breakdown,
+                            )
+                        except TransientError as exc:
+                            if attempts > retry.max_retries:
+                                raise
+                            delay = retry.delay_s(attempts)
+                            if delay >= deadline.remaining_s():
+                                raise  # backing off would blow the budget
+                            m.counter("resilience.batch.retries").inc()
+                            retries += 1
+                            emit_event(
+                                "retry", trajectory_id=raw.trajectory_id,
+                                attempt=attempts, delay_s=delay,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            if delay > 0.0:
+                                sleeper(delay)
+                                breakdown.backoff_s += delay
+            except ReproError as exc:
+                if strict:
+                    raise
+                item_span.set_tag("quarantined", True)
+                breakdown.total_s = time.perf_counter() - item_started
+                m.counter("resilience.batch.quarantined").inc()
+                emit_event(
+                    "quarantine", trajectory_id=raw.trajectory_id,
+                    index=index, error_type=type(exc).__name__,
+                    attempts=attempts, error=str(exc),
+                )
+                self._note_item_end(m, raw.trajectory_id, index, False, breakdown)
+                return ItemOutcome(index, None, QuarantineEntry(
+                    index, raw.trajectory_id, type(exc).__name__,
+                    str(exc), attempts,
+                    total_duration_s=time.perf_counter() - item_started,
+                    shard_id=shard_id, latency=breakdown,
+                ), sanitization, retries, latency=breakdown)
+
+    @staticmethod
+    def _note_item_end(
+        m, trajectory_id: str, index: int, ok: bool, breakdown: LatencyBreakdown
+    ) -> None:
+        """Publish one settled item: latency histogram + ``item_end`` event.
+
+        The event carries the full breakdown (it feeds the SLO engine and
+        ``stmaker obs analyze``); the payload is only built when the event
+        stream is live, keeping the always-on path to one histogram call.
+        """
+        m.histogram("resilience.item.latency_ms").observe(
+            breakdown.total_s * 1000.0
+        )
+        if events_enabled():
             emit_event(
-                "quarantine", trajectory_id=raw.trajectory_id,
-                index=index, error_type=type(exc).__name__,
-                attempts=attempts, error=str(exc),
+                "item_end", trajectory_id=trajectory_id,
+                index=index, ok=ok,
+                duration_ms=breakdown.total_s * 1000.0,
+                attempts=breakdown.attempts,
+                trace_id=breakdown.trace_id,
+                breakdown=breakdown.to_dict(),
             )
-            return ItemOutcome(index, None, QuarantineEntry(
-                index, raw.trajectory_id, type(exc).__name__,
-                str(exc), attempts,
-                total_duration_s=time.perf_counter() - item_started,
-                shard_id=shard_id,
-            ), sanitization, retries)
 
     def partition(
         self,

@@ -24,18 +24,30 @@ from repro.obs.aggregate import (
     apply_telemetry,
     capture_telemetry,
 )
+from repro.obs.analyze import (
+    critical_path,
+    group_traces,
+    item_latencies,
+    load_events,
+    load_spans,
+    render_analysis,
+    trace_problems,
+    trace_roots,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     EventBus,
     EventLog,
     JsonlEventSink,
     PipelineEvent,
+    clear_stage_sink,
     disable_events,
     emit_event,
     enable_events,
     events,
     events_enabled,
     stage_scope,
+    stage_sink,
 )
 from repro.obs.export import (
     chrome_trace_events,
@@ -80,6 +92,15 @@ from repro.obs.server import (
     start_ops_server,
     stop_ops_server,
 )
+from repro.obs.slo import (
+    SLO_KINDS,
+    SLObjective,
+    SLOEngine,
+    disable_slo,
+    enable_slo,
+    parse_slo,
+    slo_engine,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -87,12 +108,19 @@ from repro.obs.trace import (
     StageTotal,
     Timer,
     TraceCollector,
+    TraceContext,
+    clear_span_context,
+    current_trace,
     disable_tracing,
     enable_tracing,
     get_collector,
+    new_trace_id,
     span,
+    start_trace,
     timed_span,
     tracing_enabled,
+    use_trace,
+    wall_clock_of,
 )
 
 __all__ = [
@@ -109,6 +137,14 @@ __all__ = [
     "tracing_enabled",
     "get_collector",
     "NULL_SPAN",
+    # trace context (request identity)
+    "TraceContext",
+    "new_trace_id",
+    "start_trace",
+    "current_trace",
+    "use_trace",
+    "wall_clock_of",
+    "clear_span_context",
     # metrics
     "metrics",
     "enable_metrics",
@@ -161,6 +197,25 @@ __all__ = [
     "events_enabled",
     "emit_event",
     "stage_scope",
+    "stage_sink",
+    "clear_stage_sink",
+    # artifact analysis
+    "load_spans",
+    "load_events",
+    "group_traces",
+    "trace_roots",
+    "trace_problems",
+    "critical_path",
+    "item_latencies",
+    "render_analysis",
+    # service-level objectives
+    "SLO_KINDS",
+    "SLObjective",
+    "SLOEngine",
+    "enable_slo",
+    "disable_slo",
+    "slo_engine",
+    "parse_slo",
     # run reports
     "RunReport",
     "build_run_report",

@@ -102,11 +102,16 @@ def apply_telemetry(
     registry: MetricsRegistry | None = None,
     collector: TraceCollector | None = None,
     bus: EventBus | None = None,
+    graft_parent_id: int | None = None,
 ) -> TelemetrySnapshot:
     """Fold a worker's snapshot into the parent-side sinks.
 
     Only the sinks that are passed receive their half of the bundle, so a
-    parent that does not trace simply drops the span batch.  Returns the
+    parent that does not trace simply drops the span batch.
+    *graft_parent_id* names a live parent-side span (the batch's
+    ``summarize_many`` span) that the worker's infrastructure root spans
+    attach to instead of floating — see
+    :meth:`~repro.obs.trace.TraceCollector.add_batch`.  Returns the
     (normalized) snapshot so callers can log what arrived.
     """
     if not isinstance(snapshot, TelemetrySnapshot):
@@ -114,7 +119,7 @@ def apply_telemetry(
     if registry is not None and snapshot.metrics:
         registry.merge_snapshot(snapshot.metrics)
     if collector is not None and snapshot.spans:
-        collector.add_batch(snapshot.spans)
+        collector.add_batch(snapshot.spans, graft_parent_id=graft_parent_id)
     if bus is not None and snapshot.events:
         bus.relay(snapshot.events, source=snapshot.source)
     return snapshot

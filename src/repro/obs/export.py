@@ -221,12 +221,22 @@ def chrome_trace_events(collector: TraceCollector) -> list[dict[str, object]]:
     """The collector's spans as a Chrome trace-event list.
 
     Each finished span becomes one complete event (``"ph": "X"``) with
-    microsecond ``ts``/``dur`` on the span's own perf-counter timeline;
-    span id, parent id, status, and tags ride along in ``args``.  Threads
-    are renumbered 0..n in order of first appearance and announced with
-    ``thread_name`` metadata events so the viewer labels the tracks.
+    microsecond ``ts``/``dur``; span id, parent id, status, and tags ride
+    along in ``args``.  Threads are renumbered 0..n in order of first
+    appearance and announced with ``thread_name`` metadata events so the
+    viewer labels the tracks.
+
+    Timeline: when every span carries a wall-clock anchor
+    (``start_unix_s``), timestamps are that anchor minus the earliest one —
+    so spans grafted from worker processes land at their true offsets
+    instead of wherever each process's ``perf_counter`` epoch happened to
+    sit.  A trace with any legacy anchor-less span falls back to the old
+    per-process ``start_s`` timeline wholesale (mixing the two would
+    interleave incomparable clocks).
     """
     spans = collector.spans()
+    aligned = bool(spans) and all(record.start_unix_s > 0.0 for record in spans)
+    base_unix = min(record.start_unix_s for record in spans) if aligned else 0.0
     tid_map: dict[int, int] = {}
     events: list[dict[str, object]] = [
         {
@@ -255,12 +265,17 @@ def chrome_trace_events(collector: TraceCollector) -> list[dict[str, object]]:
         }
         if record.error is not None:
             args["error"] = record.error
+        if record.trace_id is not None:
+            args["trace_id"] = record.trace_id
         args.update(record.tags)
         events.append({
             "name": record.name,
             "cat": "pipeline",
             "ph": "X",
-            "ts": record.start_s * 1e6,
+            "ts": (
+                (record.start_unix_s - base_unix) * 1e6
+                if aligned else record.start_s * 1e6
+            ),
             "dur": record.duration_ms * 1e3,
             "pid": _TRACE_PID,
             "tid": tid_map[record.thread_id],

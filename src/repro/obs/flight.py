@@ -41,8 +41,12 @@ from repro.obs.trace import get_collector
 
 logger = logging.getLogger("repro.obs.flight")
 
-#: Event kinds that freeze the ring into a capture by default.
-DEFAULT_TRIGGER_KINDS: frozenset[str] = frozenset({"quarantine", "degradation"})
+#: Event kinds that freeze the ring into a capture by default: the two
+#: points where the pipeline absorbed a failure, plus an SLO excursion —
+#: exactly when you want the event tail that led up to it.
+DEFAULT_TRIGGER_KINDS: frozenset[str] = frozenset({
+    "quarantine", "degradation", "slo_breach",
+})
 
 _UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9._-]+")
 

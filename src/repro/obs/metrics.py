@@ -458,7 +458,9 @@ def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
     """Install *registry* (or a fresh one) as the active metrics sink."""
     global _active
     if not isinstance(_active, MetricsRegistry) or registry is not None:
-        _active = registry or MetricsRegistry()
+        # Explicit None test: an empty registry is falsy (it has __len__),
+        # and `registry or ...` would silently swap it for a fresh one.
+        _active = MetricsRegistry() if registry is None else registry
     return _active
 
 

@@ -107,6 +107,11 @@ class RunReport:
     #: Failure-containment roll-up — crashes, shard retries/bisections,
     #: breaker state, shed load (``{}`` when nothing was contained).
     containment: dict[str, object] = field(default_factory=dict)
+    #: Per-item latency accounting rolled up from the
+    #: :class:`~repro.resilience.LatencyBreakdown` s of the supplied
+    #: batches — phase distributions plus per-stage execution totals
+    #: (``{}`` when no batch carried breakdowns).
+    latency: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -118,6 +123,7 @@ class RunReport:
             "metrics": self.metrics,
             "serving": self.serving,
             "containment": self.containment,
+            "latency": self.latency,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -229,6 +235,40 @@ class RunReport:
                     _markdown_table(
                         ["breaker", "state"],
                         [[b["name"], b["state"]] for b in breakers],
+                    ),
+                ]
+
+        phases = self.latency.get("phases_ms", {})
+        if phases:
+            sections += [
+                "",
+                "## Item latency accounting",
+                "",
+                f"Phase-by-phase wall clock of "
+                f"**{self.latency.get('items', 0)} item(s)** "
+                f"({self.latency.get('attempts_total', 0)} summarization "
+                f"attempt(s)).",
+                "",
+                _markdown_table(
+                    ["phase", "min ms", "mean ms", "p50 ms", "p95 ms", "max ms"],
+                    [
+                        [
+                            phase, dist.get("min", 0.0), dist.get("mean", 0.0),
+                            dist.get("p50", 0.0), dist.get("p95", 0.0),
+                            dist.get("max", 0.0),
+                        ]
+                        for phase, dist in phases.items()
+                        if dist.get("count")
+                    ],
+                ),
+            ]
+            stage_totals = self.latency.get("stage_totals_ms", {})
+            if stage_totals:
+                sections += [
+                    "",
+                    _markdown_table(
+                        ["exec stage", "total ms"],
+                        [[stage, total] for stage, total in stage_totals.items()],
                     ),
                 ]
 
@@ -416,6 +456,43 @@ _CONTAINMENT_COUNTERS = {
 _BREAKER_STATES = ("closed", "half_open", "open")
 
 
+#: LatencyBreakdown phase attributes surfaced in the report, in the order
+#: they occur in an item's life.
+_LATENCY_PHASES = (
+    "admission_wait_s", "queue_wait_s", "exec_s",
+    "backoff_s", "reassembly_s", "total_s",
+)
+
+
+def _latency_stats(batches: list["BatchResult"]) -> dict[str, object]:
+    """Phase distributions + stage totals from the batches' breakdowns.
+
+    Returns ``{}`` when no batch carried latency breakdowns (pre-existing
+    artifacts, synthetic results), so such reports are unchanged.
+    """
+    breakdowns = [
+        lat for batch in batches for lat in batch.latencies if lat is not None
+    ]
+    if not breakdowns:
+        return {}
+    phases: dict[str, dict[str, object]] = {}
+    for attr in _LATENCY_PHASES:
+        values = [getattr(lat, attr) * 1000.0 for lat in breakdowns]
+        phases[attr[: -len("_s")] + "_ms"] = _distribution(values)
+    stage_totals: dict[str, float] = {}
+    for lat in breakdowns:
+        for stage, seconds in lat.stages_s.items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds * 1000.0
+    return {
+        "items": len(breakdowns),
+        "attempts_total": sum(lat.attempts for lat in breakdowns),
+        "phases_ms": phases,
+        "stage_totals_ms": dict(
+            sorted(stage_totals.items(), key=lambda kv: -kv[1])
+        ),
+    }
+
+
 def _containment_stats(
     metrics_snapshot: dict[str, dict[str, object]],
 ) -> dict[str, object]:
@@ -502,4 +579,5 @@ def build_run_report(
         metrics=metrics_snapshot,
         serving=_serving_stats(metrics_snapshot),
         containment=_containment_stats(metrics_snapshot),
+        latency=_latency_stats(batches),
     )

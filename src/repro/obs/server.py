@@ -37,6 +37,7 @@ from repro.obs.export import render_prometheus
 from repro.obs.flight import FlightRecorder, flight_recorder
 from repro.obs.metrics import MetricsRegistry, metrics
 from repro.obs.report import build_run_report
+from repro.obs.slo import slo_engine
 from repro.obs.trace import TraceCollector, get_collector
 
 logger = logging.getLogger("repro.obs.server")
@@ -258,6 +259,9 @@ class OpsServer:
             "events_seen": self.events_seen,
             "url": self.url,
         }
+        engine = slo_engine()
+        if engine is not None:
+            payload["slo"] = engine.snapshot()
         return payload
 
 

@@ -22,15 +22,36 @@ Enable it explicitly::
 Stage span names used by the pipeline instrumentation are listed in
 ``docs/OBSERVABILITY.md``: ``summarize`` > ``calibrate``,
 ``extract_features``, ``partition``, ``select``, ``realize``.
+
+Request-scoped identity rides on top of the span machinery: a
+:class:`TraceContext` names one request (an item of a batch) with a
+globally-unique ``trace_id`` and flows across thread and process
+boundaries, so every span recorded while the context is active — in
+whatever process — carries the same ``trace_id`` and can be reassembled
+into one per-request tree after :meth:`TraceCollector.add_batch` grafting.
+See ``docs/OBSERVABILITY.md`` ("Trace context").
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
+
+#: Paired wall/monotonic anchor taken at import: ``perf_counter`` spans
+#: are mapped onto the unix timeline via ``_ANCHOR_UNIX + (t - _ANCHOR_PERF)``.
+#: One subtraction per span keeps the hot path free of ``time.time()``.
+_ANCHOR_UNIX = time.time()
+_ANCHOR_PERF = time.perf_counter()
+
+
+def wall_clock_of(perf_s: float) -> float:
+    """Map a ``time.perf_counter()`` reading onto the unix timeline."""
+    return _ANCHOR_UNIX + (perf_s - _ANCHOR_PERF)
 
 
 @dataclass(slots=True)
@@ -51,6 +72,14 @@ class SpanRecord:
     #: ``threading.get_ident()`` of the recording thread — lets exporters
     #: keep concurrent spans on separate tracks instead of false-nesting.
     thread_id: int = 0
+    #: Request identity: the :class:`TraceContext` trace id active when the
+    #: span ran, or ``None`` for infrastructure spans outside any request.
+    #: Survives ``add_batch`` id remapping untouched.
+    trace_id: str | None = None
+    #: Wall-clock entry time (unix seconds); ``0.0`` on records written
+    #: before the anchor existed.  Unlike :attr:`start_s` this timeline is
+    #: comparable across processes.
+    start_unix_s: float = 0.0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -64,6 +93,8 @@ class SpanRecord:
             "depth": self.depth,
             "tags": dict(self.tags),
             "thread_id": self.thread_id,
+            "trace_id": self.trace_id,
+            "start_unix_s": self.start_unix_s,
         }
 
     @classmethod
@@ -83,7 +114,122 @@ class SpanRecord:
             depth=int(data.get("depth", 0)),  # type: ignore[arg-type]
             tags=dict(data.get("tags") or {}),  # type: ignore[arg-type]
             thread_id=int(data.get("thread_id", 0)),  # type: ignore[arg-type]
+            trace_id=(
+                None if data.get("trace_id") is None else str(data["trace_id"])
+            ),
+            start_unix_s=float(data.get("start_unix_s", 0.0)),  # type: ignore[arg-type]
         )
+
+
+#: Process-unique prefix for trace ids: pid plus 32 random bits, so ids
+#: minted concurrently in a worker pool never collide across processes.
+_TRACE_PREFIX = f"{os.getpid():x}-{os.urandom(4).hex()}"
+_trace_counter = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A globally-unique, cheap-to-mint trace id (no uuid4 per item)."""
+    return f"{_TRACE_PREFIX}-{next(_trace_counter):x}"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """Identity of one request (one batch item) as it crosses boundaries.
+
+    Created at admission, shipped through :class:`~repro.serving.ShardTask`
+    to whatever thread or process executes the item, and activated with
+    :func:`use_trace` around the item's work.  While active, every span
+    adopts :attr:`trace_id`; a span opened on an empty stack additionally
+    links to :attr:`parent_span_id` (the thread-mode batch span).
+
+    :attr:`anchor_unix_s` is the wall-clock instant the request was
+    admitted — queue wait is measured against it on whichever machine the
+    item eventually runs.
+    """
+
+    trace_id: str | None
+    parent_span_id: int | None = None
+    parent_depth: int = 0
+    anchor_unix_s: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "parent_depth": self.parent_depth,
+            "anchor_unix_s": self.anchor_unix_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "TraceContext":
+        return cls(
+            trace_id=(
+                None if data.get("trace_id") is None else str(data["trace_id"])
+            ),
+            parent_span_id=(
+                None if data.get("parent_span_id") is None
+                else int(data["parent_span_id"])  # type: ignore[arg-type]
+            ),
+            parent_depth=int(data.get("parent_depth", 0)),  # type: ignore[arg-type]
+            anchor_unix_s=float(data.get("anchor_unix_s", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+#: The active request context.  Like the span stack, a ``ContextVar`` so a
+#: fresh thread or task starts with no inherited request identity.
+_trace_ctx: ContextVar["TraceContext | None"] = ContextVar(
+    "repro_obs_trace_ctx", default=None
+)
+
+
+def start_trace(anchor_unix_s: float | None = None) -> TraceContext:
+    """Mint a fresh request context anchored at *anchor_unix_s* (now)."""
+    return TraceContext(
+        trace_id=new_trace_id(),
+        anchor_unix_s=time.time() if anchor_unix_s is None else anchor_unix_s,
+    )
+
+
+def current_trace() -> TraceContext | None:
+    """The request context active in this thread/task, if any."""
+    return _trace_ctx.get()
+
+
+def clear_span_context() -> None:
+    """Drop this thread's span stack and request context.
+
+    A ``fork``-started worker process inherits the forking thread's
+    ``ContextVar`` state — including a live span stack whose ids belong
+    to the *parent's* collector.  Left in place, the worker's first span
+    would claim one of those ids as its parent, and the parent-side graft
+    would remap it onto an unrelated (possibly its own) span.  Workers
+    call this alongside dropping the inherited sinks.
+    """
+    _stack.set(())
+    _trace_ctx.set(None)
+
+
+class use_trace:
+    """Activate *ctx* for the block: ``with use_trace(ctx): ...``.
+
+    ``use_trace(None)`` is a no-op, so call sites need no branching.  A
+    tiny class rather than ``@contextmanager`` — this runs once per item
+    on the always-on path.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: TraceContext | None) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext | None:
+        self._token = _trace_ctx.set(self._ctx) if self._ctx is not None else None
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _trace_ctx.reset(self._token)
+        return False
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,7 +278,7 @@ class TraceCollector:
         with self._lock:
             return list(self._spans)
 
-    def add_batch(self, records) -> int:
+    def add_batch(self, records, *, graft_parent_id: int | None = None) -> int:
         """Merge a batch of spans from another collector into this one.
 
         The span half of the cross-process telemetry contract: a worker
@@ -141,8 +287,17 @@ class TraceCollector:
         collector's sequence so batches from many workers never collide;
         parent links *within* the batch are remapped to the new ids, while
         parents outside the batch (a worker-side root that was not
-        shipped) become ``None``.  Returns how many spans were added; the
-        ``max_spans`` cap applies and drops are counted as usual.
+        shipped) become ``None``.  ``trace_id`` s pass through untouched —
+        request identity is process-independent by construction.
+
+        *graft_parent_id* joins the shipped fragment to a live span of
+        **this** collector's tree: a batch record with no parent and no
+        ``trace_id`` (the worker's infrastructure root, e.g. its ``shard``
+        span), or with a parent that was not shipped, adopts it instead of
+        floating as a second root.  Trace-rooted records keep ``None``
+        parents — their root-ness is what makes the per-request tree
+        well-formed.  Returns how many spans were added; the ``max_spans``
+        cap applies and drops are counted as usual.
         """
         batch = [
             record if isinstance(record, SpanRecord) else SpanRecord.from_dict(record)
@@ -153,12 +308,15 @@ class TraceCollector:
         for record in batch:
             id_map[record.span_id] = self.next_span_id()
         for record in batch:
+            if record.parent_id is not None:
+                parent_id = id_map.get(record.parent_id, graft_parent_id)
+            elif record.trace_id is None:
+                parent_id = graft_parent_id
+            else:
+                parent_id = None
             remapped = SpanRecord(
                 span_id=id_map[record.span_id],
-                parent_id=(
-                    id_map.get(record.parent_id)
-                    if record.parent_id is not None else None
-                ),
+                parent_id=parent_id,
                 name=record.name,
                 start_s=record.start_s,
                 duration_ms=record.duration_ms,
@@ -167,6 +325,8 @@ class TraceCollector:
                 depth=record.depth,
                 tags=dict(record.tags),
                 thread_id=record.thread_id,
+                trace_id=record.trace_id,
+                start_unix_s=record.start_unix_s,
             )
             with self._lock:
                 if self.max_spans is not None and len(self._spans) >= self.max_spans:
@@ -243,7 +403,7 @@ class Span:
     """An active span; use via :func:`span`, not directly."""
 
     __slots__ = (
-        "name", "tags", "span_id", "parent_id", "depth",
+        "name", "tags", "span_id", "parent_id", "depth", "trace_id",
         "duration_ms", "status", "error",
         "_collector", "_start", "_token",
     )
@@ -255,6 +415,7 @@ class Span:
         self.span_id = collector.next_span_id()
         self.parent_id: int | None = None
         self.depth = 0
+        self.trace_id: str | None = None
         self.duration_ms = 0.0
         self.status = "ok"
         self.error: str | None = None
@@ -269,6 +430,19 @@ class Span:
             parent = stack[-1]
             self.parent_id = parent.span_id
             self.depth = parent.depth + 1
+            self.trace_id = parent.trace_id
+        if self.trace_id is None:
+            # Entering the traced region: the first span under an active
+            # request context adopts its trace id (children inherit via
+            # the stack above), and — when this thread has no local
+            # ancestry — its cross-boundary parent link.
+            ctx = _trace_ctx.get()
+            if ctx is not None:
+                self.trace_id = ctx.trace_id
+                if not stack:
+                    self.parent_id = ctx.parent_span_id
+                    if ctx.parent_span_id is not None:
+                        self.depth = ctx.parent_depth + 1
         self._token = _stack.set(stack + (self,))
         self._start = time.perf_counter()
         return self
@@ -284,7 +458,7 @@ class Span:
             SpanRecord(
                 self.span_id, self.parent_id, self.name, self._start,
                 self.duration_ms, self.status, self.error, self.depth, self.tags,
-                threading.get_ident(),
+                threading.get_ident(), self.trace_id, wall_clock_of(self._start),
             )
         )
         return False  # never swallow the exception
@@ -353,7 +527,11 @@ def enable_tracing(
 ) -> TraceCollector:
     """Install *collector* (or a fresh one) as the active trace sink."""
     global _collector
-    _collector = collector or TraceCollector(max_spans=max_spans)
+    # Explicit None test: an *empty* collector is falsy (it has __len__),
+    # and `collector or ...` would silently swap it for a fresh one.
+    if collector is None:
+        collector = TraceCollector(max_spans=max_spans)
+    _collector = collector
     return _collector
 
 

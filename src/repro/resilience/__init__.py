@@ -21,6 +21,7 @@ from repro.resilience.batch import (
     BatchProgress,
     BatchResult,
     ItemOutcome,
+    LatencyBreakdown,
     QuarantineEntry,
 )
 from repro.resilience.degradation import STAGES, DegradationEvent, DegradationReport
@@ -42,6 +43,7 @@ __all__ = [
     "BatchProgress",
     "BatchResult",
     "ItemOutcome",
+    "LatencyBreakdown",
     "QuarantineEntry",
     "FaultInjector",
     "FaultSpec",

@@ -16,6 +16,75 @@ if TYPE_CHECKING:  # avoid the repro.core <-> repro.resilience import cycle
     from repro.core.types import TrajectorySummary
 
 
+@dataclass(slots=True)
+class LatencyBreakdown:
+    """Where one batch item's wall-clock time went, phase by phase.
+
+    Recorded for **every** item — serial, thread-pool, or process-pool —
+    regardless of whether tracing/metrics/events are enabled: the cost is
+    a handful of ``perf_counter`` reads against items that take
+    milliseconds.  A plain mutable dataclass so it pickles across the
+    process boundary inside its :class:`ItemOutcome`.
+
+    The phases tile the item's life: *admission wait* (blocked in
+    :meth:`~repro.serving.AdmissionPolicy.admit` before the batch
+    started), *queue wait* (admitted but not yet picked up by a
+    worker/the serial loop), *exec* (inside summarization attempts),
+    *backoff* (sleeping between transient retries), and *reassembly*
+    (input-order rebuild after the pool drained — a per-batch constant).
+    ``stages_s`` splits exec time by pipeline stage via the
+    :class:`~repro.obs.events.stage_sink` hook.
+    """
+
+    #: Request identity, when a :class:`~repro.obs.TraceContext` was active.
+    trace_id: str | None = None
+    admission_wait_s: float = 0.0
+    queue_wait_s: float = 0.0
+    #: Summarization attempts made (retries included; 0 = never started).
+    attempts: int = 0
+    exec_s: float = 0.0
+    backoff_s: float = 0.0
+    reassembly_s: float = 0.0
+    #: Wall-clock seconds from pickup to settled outcome (exec + backoff).
+    total_s: float = 0.0
+    #: Execution seconds per pipeline stage (``calibrate``, ``partition``,
+    #: ...), plus the umbrella ``summarize`` scope.
+    stages_s: dict[str, float] = field(default_factory=dict)
+
+    def note_stage(self, stage: str, duration_s: float, ok: bool = True) -> None:
+        """A :class:`~repro.obs.events.StageSink`-shaped accumulator."""
+        self.stages_s[stage] = self.stages_s.get(stage, 0.0) + duration_s
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "admission_wait_s": self.admission_wait_s,
+            "queue_wait_s": self.queue_wait_s,
+            "attempts": self.attempts,
+            "exec_s": self.exec_s,
+            "backoff_s": self.backoff_s,
+            "reassembly_s": self.reassembly_s,
+            "total_s": self.total_s,
+            "stages_s": dict(self.stages_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LatencyBreakdown":
+        return cls(
+            trace_id=(
+                None if data.get("trace_id") is None else str(data["trace_id"])
+            ),
+            admission_wait_s=float(data.get("admission_wait_s", 0.0)),  # type: ignore[arg-type]
+            queue_wait_s=float(data.get("queue_wait_s", 0.0)),  # type: ignore[arg-type]
+            attempts=int(data.get("attempts", 0)),  # type: ignore[arg-type]
+            exec_s=float(data.get("exec_s", 0.0)),  # type: ignore[arg-type]
+            backoff_s=float(data.get("backoff_s", 0.0)),  # type: ignore[arg-type]
+            reassembly_s=float(data.get("reassembly_s", 0.0)),  # type: ignore[arg-type]
+            total_s=float(data.get("total_s", 0.0)),  # type: ignore[arg-type]
+            stages_s=dict(data.get("stages_s") or {}),  # type: ignore[arg-type]
+        )
+
+
 @dataclass(frozen=True, slots=True)
 class QuarantineEntry:
     """One trajectory that failed even after degradation (or retries).
@@ -43,6 +112,10 @@ class QuarantineEntry:
     total_duration_s: float = field(default=0.0, compare=False)
     #: Shard that served the item (``None`` on the serial path).
     shard_id: int | None = field(default=None, compare=False)
+    #: Phase-by-phase timing of the doomed item (``None`` for entries
+    #: synthesized before latency accounting existed).  Excluded from
+    #: equality like the other forensic fields.
+    latency: "LatencyBreakdown | None" = field(default=None, compare=False)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -53,6 +126,7 @@ class QuarantineEntry:
             "attempts": self.attempts,
             "total_duration_s": self.total_duration_s,
             "shard_id": self.shard_id,
+            "latency": None if self.latency is None else self.latency.to_dict(),
         }
 
 
@@ -76,6 +150,10 @@ class ItemOutcome:
     sanitization: SanitizationReport | None
     #: Transient retries this item consumed before succeeding or giving up.
     retries: int = 0
+    #: Phase-by-phase wall-clock accounting; excluded from equality so the
+    #: parallel ≡ serial differential contract compares outcomes, not
+    #: schedules.
+    latency: LatencyBreakdown | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if (self.summary is None) == (self.quarantine is None):
@@ -144,6 +222,9 @@ class BatchResult:
     #: Per-item sanitization reports (input order; ``None`` when sanitization
     #: was disabled or the item was quarantined before cleaning).
     sanitization: list[SanitizationReport | None] = field(default_factory=list)
+    #: Per-item latency breakdowns (input order, healthy and quarantined
+    #: alike; ``None`` for outcomes produced before accounting existed).
+    latencies: list[LatencyBreakdown | None] = field(default_factory=list)
 
     @property
     def ok_count(self) -> int:

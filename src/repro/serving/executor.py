@@ -49,7 +49,10 @@ from repro.obs import (
     MetricsRegistry,
     TelemetrySnapshot,
     TraceCollector,
+    TraceContext,
     capture_telemetry,
+    clear_span_context,
+    clear_stage_sink,
     disable_events,
     disable_metrics,
     disable_tracing,
@@ -101,6 +104,12 @@ class ShardTask:
     want_metrics: bool = False
     want_spans: bool = False
     want_events: bool = False
+    #: Per-item request contexts, parallel to ``indices``/``items``
+    #: (empty when the parent minted none — pre-tracing callers).
+    traces: tuple[TraceContext, ...] = ()
+    #: Seconds the whole batch blocked in admission before sharding;
+    #: copied onto every item's latency breakdown.
+    admission_wait_s: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,6 +174,8 @@ def build_shard_tasks(
     retry: RetryPolicy,
     deadline_s: float | None,
     sleeper: Callable[[float], None],
+    traces: Sequence[TraceContext] | None = None,
+    admission_wait_s: float = 0.0,
 ) -> list[ShardTask]:
     """Pack *shards* into self-contained :class:`ShardTask` s.
 
@@ -201,6 +212,11 @@ def build_shard_tasks(
             want_metrics=want_metrics,
             want_spans=want_spans,
             want_events=want_events,
+            traces=(
+                () if traces is None
+                else tuple(traces[index] for index in shard.indices)
+            ),
+            admission_wait_s=admission_wait_s,
         )
         for shard in shards
     ]
@@ -213,11 +229,16 @@ def _reset_inherited_obs() -> None:
     (JSONL sinks, the ops server's flight recorder): letting them run in
     the worker would interleave writes into the parent's files.  The
     sinks are dropped, not closed — the descriptors still belong to the
-    parent process.
+    parent process.  The forking thread's context-local state goes too:
+    an inherited span stack carries parent-collector span ids that would
+    corrupt the parent-side graft, and an inherited stage sink would
+    account the worker's stages against a dead copy of a parent object.
     """
     disable_metrics()
     disable_tracing()
     disable_events()
+    clear_span_context()
+    clear_stage_sink()
 
 
 def run_shard_in_process(task: ShardTask) -> ShardResult:
@@ -255,8 +276,12 @@ def run_shard_in_process(task: ShardTask) -> ShardResult:
         started = time.perf_counter()
         outcomes: list[ItemOutcome] = []
         ok = quarantined = 0
+        # The worker's "shard" span deliberately has no parent and no
+        # trace id: it is process-local infrastructure.  The parent folds
+        # it under the live batch span via apply_telemetry's graft;
+        # per-item spans below carry their item's TraceContext instead.
         with span("shard", shard_id=task.shard_id, items=len(task.items)):
-            for index, raw in zip(task.indices, task.items):
+            for offset, (index, raw) in enumerate(zip(task.indices, task.items)):
                 outcome = stmaker._summarize_item(
                     index, raw, k=task.k,
                     sanitize=task.sanitize,
@@ -264,6 +289,11 @@ def run_shard_in_process(task: ShardTask) -> ShardResult:
                     strict=task.strict, retry=task.retry,
                     deadline=deadline, sleeper=sleeper,
                     shard_id=task.shard_id,
+                    trace=(
+                        task.traces[offset] if offset < len(task.traces)
+                        else None
+                    ),
+                    admission_wait_s=task.admission_wait_s,
                 )
                 outcomes.append(outcome)
                 if outcome.summary is not None:

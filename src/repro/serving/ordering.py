@@ -44,6 +44,7 @@ def reassemble(outcomes: Iterable[ItemOutcome], total: int) -> BatchResult:
         if outcome is None:
             raise ServingError(f"no outcome for item index {index}")
         result.sanitization.append(outcome.sanitization)
+        result.latencies.append(outcome.latency)
         if outcome.summary is not None:
             result.summaries.append(outcome.summary)
         if outcome.quarantine is not None:

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.exceptions import ConfigError
 from repro.obs import (
+    TraceContext,
     apply_telemetry,
     emit_event,
     events,
@@ -57,6 +58,8 @@ from repro.obs import (
     metrics,
     metrics_enabled,
     span,
+    start_trace,
+    use_trace,
 )
 from repro.obs.metrics import MetricsRegistry, scoped_metrics
 from repro.resilience import (
@@ -204,11 +207,20 @@ def run_sharded(
     elif breaker is False:
         breaker = None
     ticket = None
+    admission_wait_s = 0.0
     if admission is not None:
         # May raise OverloadError (shed="reject") — before any work starts.
+        admit_started = time.perf_counter()
         ticket = admission.admit(len(items), tenant=tenant, priority=priority)
+        admission_wait_s = time.perf_counter() - admit_started
         if ticket.decision.k_override is not None:
             k = ticket.decision.k_override
+    # Request identity is minted the moment the batch clears admission:
+    # one TraceContext per item, all anchored at the same wall-clock
+    # instant, so queue wait is "admitted but not yet picked up" on
+    # whichever thread or process eventually serves the item.
+    batch_anchor_unix = time.time()
+    traces = [start_trace(anchor_unix_s=batch_anchor_unix) for _ in items]
     max_in_flight = (
         admission.max_in_flight_shards if admission is not None else None
     )
@@ -234,6 +246,10 @@ def run_sharded(
     )
     started = time.perf_counter()
     board = _ProgressBoard(len(items), progress)
+    # Thread-mode shards run on pool threads with an empty span stack; the
+    # link context (filled in once the batch span is live) re-parents each
+    # shard's spans under it so the trace tree never fragments per thread.
+    link: dict[str, TraceContext | None] = {"ctx": None}
 
     def run_shard(shard: Shard) -> list[ItemOutcome]:
         deadline = Deadline(deadline_s)
@@ -253,7 +269,8 @@ def run_sharded(
             if shard_registry is not None
             else contextlib.nullcontext()
         )
-        with span("shard", shard_id=shard.shard_id, items=len(shard)):
+        with use_trace(link["ctx"]), \
+                span("shard", shard_id=shard.shard_id, items=len(shard)):
             with shard_scope:
                 for index in shard.indices:
                     outcome = stmaker._summarize_item(
@@ -261,6 +278,8 @@ def run_sharded(
                         sanitize=sanitize, sanitizer_config=sanitizer_config,
                         strict=strict, retry=retry, deadline=deadline,
                         sleeper=sleeper, shard_id=shard.shard_id,
+                        trace=traces[index],
+                        admission_wait_s=admission_wait_s,
                     )
                     outcomes.append(outcome)
                     if outcome.summary is not None:
@@ -291,6 +310,13 @@ def run_sharded(
             "summarize_many", items=len(items), k=k,
             workers=workers, shards=len(shards), executor=executor,
         ) as sp:
+            batch_span_id = getattr(sp, "span_id", None)
+            if batch_span_id is not None:
+                link["ctx"] = TraceContext(
+                    trace_id=None,
+                    parent_span_id=batch_span_id,
+                    parent_depth=getattr(sp, "depth", 0),
+                )
             if executor == "process":
                 all_outcomes = _run_shards_in_processes(
                     stmaker, shards, items,
@@ -300,6 +326,8 @@ def run_sharded(
                     sleeper=sleeper, workers=workers, board=board, m=m,
                     shard_retry=shard_retry or ShardRetryPolicy(),
                     breaker=breaker, max_in_flight=max_in_flight,
+                    traces=traces, admission_wait_s=admission_wait_s,
+                    graft_parent_id=batch_span_id,
                 )
             else:
                 with ThreadPoolExecutor(
@@ -315,7 +343,12 @@ def run_sharded(
                             # keeps a shared breaker's volume honest when the
                             # two executors alternate on one name.
                             breaker.record_success()
+            reassembly_started = time.perf_counter()
             result = reassemble(all_outcomes, len(items))
+            reassembly_s = time.perf_counter() - reassembly_started
+            for lat in result.latencies:
+                if lat is not None:
+                    lat.reassembly_s = reassembly_s
             sp.set_tag("ok", result.ok_count)
             sp.set_tag("quarantined", result.quarantined_count)
     finally:
@@ -331,13 +364,16 @@ def run_sharded(
 
 
 def _fold_shard_result(
-    sr: ShardResult, board: _ProgressBoard, m
+    sr: ShardResult, board: _ProgressBoard, m,
+    graft_parent_id: int | None = None,
 ) -> None:
     """Merge one worker's ShardResult into the parent-side sinks.
 
     The parent-side half of the telemetry contract: the worker's metric
     delta merges into the live registry, its span batch grafts into the
-    live collector, its events relay onto the live bus, and the
+    live collector (worker-root spans attach under *graft_parent_id*,
+    the live batch span, so they join the parent's tree instead of
+    floating), its events relay onto the live bus, and the
     ``serving.shard.<id>.*`` gauges are set here (gauges are last-write-
     wins state, so they must be *set* parent-side, not merged as
     offsets) — exactly where thread-mode shards set them.
@@ -348,6 +384,7 @@ def _fold_shard_result(
             registry=m if metrics_enabled() else None,
             collector=get_collector(),
             bus=events(),
+            graft_parent_id=graft_parent_id,
         )
     prefix = f"serving.shard.{sr.shard_id}"
     m.gauge(f"{prefix}.items").set(len(sr.outcomes))
@@ -378,6 +415,9 @@ def _run_shards_in_processes(
     shard_retry: ShardRetryPolicy,
     breaker: "CircuitBreaker | None",
     max_in_flight: int | None,
+    traces: Sequence[TraceContext] | None = None,
+    admission_wait_s: float = 0.0,
+    graft_parent_id: int | None = None,
 ) -> list[ItemOutcome]:
     """Serve *shards* on a supervised ProcessPoolExecutor.
 
@@ -397,11 +437,12 @@ def _run_shards_in_processes(
         artifact_path=info.path, fingerprint=info.fingerprint,
         k=k, sanitize=sanitize, sanitizer_config=sanitizer_config,
         strict=strict, retry=retry, deadline_s=deadline_s, sleeper=sleeper,
+        traces=traces, admission_wait_s=admission_wait_s,
     )
     all_outcomes: list[ItemOutcome] = []
 
     def fold(sr: ShardResult) -> None:
-        _fold_shard_result(sr, board, m)
+        _fold_shard_result(sr, board, m, graft_parent_id=graft_parent_id)
         all_outcomes.extend(sr.outcomes)
 
     supervise_process_shards(

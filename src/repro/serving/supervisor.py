@@ -61,8 +61,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.exceptions import ConfigError, WorkerCrashError
-from repro.obs import emit_event, metrics, span
-from repro.resilience import Deadline, ItemOutcome, QuarantineEntry
+from repro.obs import emit_event, events_enabled, metrics, span
+from repro.resilience import (
+    Deadline,
+    ItemOutcome,
+    LatencyBreakdown,
+    QuarantineEntry,
+)
 from repro.serving.executor import (
     ShardResult,
     ShardTask,
@@ -163,12 +168,16 @@ def run_shard_local(stmaker: "STMaker", task: ShardTask) -> ShardResult:
     outcomes: list[ItemOutcome] = []
     ok = quarantined = 0
     with span("shard", shard_id=task.shard_id, items=len(task.items), degraded=True):
-        for index, raw in zip(task.indices, task.items):
+        for offset, (index, raw) in enumerate(zip(task.indices, task.items)):
             outcome = stmaker._summarize_item(
                 index, raw, k=task.k,
                 sanitize=task.sanitize, sanitizer_config=task.sanitizer_config,
                 strict=task.strict, retry=task.retry,
                 deadline=deadline, sleeper=sleeper, shard_id=task.shard_id,
+                trace=(
+                    task.traces[offset] if offset < len(task.traces) else None
+                ),
+                admission_wait_s=task.admission_wait_s,
             )
             outcomes.append(outcome)
             if outcome.summary is not None:
@@ -245,6 +254,7 @@ def supervise_process_shards(
                     shard_id=next_shard_id,
                     indices=unit.task.indices[lo:hi],
                     items=unit.task.items[lo:hi],
+                    traces=unit.task.traces[lo:hi],
                 )))
                 next_shard_id += 1
             m.counter("serving.bisected_shards").inc()
@@ -413,7 +423,7 @@ def _synthesize_crash_result(unit: _Unit, message: str) -> ShardResult:
     """
     m = metrics()
     outcomes = []
-    for index, raw in zip(unit.task.indices, unit.task.items):
+    for offset, (index, raw) in enumerate(zip(unit.task.indices, unit.task.items)):
         m.counter("resilience.batch.items").inc()
         m.counter("resilience.batch.quarantined").inc()
         emit_event(
@@ -421,10 +431,25 @@ def _synthesize_crash_result(unit: _Unit, message: str) -> ShardResult:
             index=index, error_type="WorkerCrashError",
             attempts=unit.attempts, error=message,
         )
+        trace = unit.task.traces[offset] if offset < len(unit.task.traces) else None
+        # The worker died with the item's timings; what survives is the
+        # request identity, the admission wait, and how many times the
+        # supervisor charged the shard.
+        breakdown = LatencyBreakdown(
+            trace_id=None if trace is None else trace.trace_id,
+            admission_wait_s=unit.task.admission_wait_s,
+            attempts=unit.attempts,
+        )
+        if events_enabled():
+            emit_event(
+                "item_end", trajectory_id=raw.trajectory_id, index=index,
+                ok=False, duration_ms=0.0, attempts=unit.attempts,
+                trace_id=breakdown.trace_id, breakdown=breakdown.to_dict(),
+            )
         outcomes.append(ItemOutcome(index, None, QuarantineEntry(
             index, raw.trajectory_id, "WorkerCrashError", message,
-            unit.attempts, shard_id=unit.task.shard_id,
-        ), None))
+            unit.attempts, shard_id=unit.task.shard_id, latency=breakdown,
+        ), None, latency=breakdown))
     return ShardResult(
         shard_id=unit.task.shard_id, outcomes=tuple(outcomes),
         ok=0, quarantined=len(outcomes),

@@ -251,6 +251,80 @@ class TestTrendGate:
         assert finding["status"] == "new" and finding["window"] == 0
 
 
+class TestAttribution:
+    def test_profile_stages_collects_span_totals(self, harness):
+        from repro import obs
+
+        def workload():
+            with obs.span("partition"):
+                with obs.span("select"):
+                    pass
+
+        assert obs.get_collector() is None
+        profile = harness.profile_stages(workload)
+        assert set(profile) == {"partition", "select"}
+        assert all(ms >= 0.0 for ms in profile.values())
+        # The profiling pass leaves global tracing the way it found it.
+        assert obs.get_collector() is None
+
+    def test_profile_stages_restores_prior_collector(self, harness):
+        from repro import obs
+
+        mine = obs.enable_tracing()
+        try:
+            harness.profile_stages(lambda: None)
+            assert obs.get_collector() is mine
+        finally:
+            obs.disable_tracing()
+
+    def test_attribution_diffs_against_last_profiled_run(self, harness):
+        history = [
+            {"stage_profile": {"x": {"partition": 5.0, "select": 1.0}}},
+            {"results": {}},  # runs without profiles are skipped
+        ]
+        rows = harness.attribute_trend_regression(
+            "x", {"partition": 9.0, "select": 1.0, "realize": 0.5}, history
+        )
+        assert [row["stage"] for row in rows] == [
+            "partition", "realize", "select"
+        ]  # sorted by |delta|, biggest contributor first
+        assert rows[0]["delta_ms"] == pytest.approx(4.0)
+        assert rows[1]["then_ms"] == 0.0  # stage new in this run
+
+    def test_attribution_without_prior_profile_is_empty(self, harness):
+        assert harness.attribute_trend_regression("x", {"a": 1.0}, []) == []
+        assert harness.attribute_trend_regression(
+            "x", {"a": 1.0}, [{"stage_profile": {"y": {"a": 1.0}}}]
+        ) == []
+
+    def test_main_records_stage_profiles_with_trend_gate(
+        self, harness, tmp_path, monkeypatch, capsys
+    ):
+        from repro import obs
+
+        def fake_suite(**kwargs):
+            def workload():
+                with obs.span("partition"):
+                    pass
+                return 1
+            return {"smoke.x_ms": workload}
+
+        monkeypatch.setattr(harness, "smoke_suite", fake_suite)
+        history = tmp_path / "history.jsonl"
+        common = [
+            "--repeats", "1", "--warmup", "0",
+            "--history", str(history),
+            "--baseline", str(tmp_path / "baseline.json"),
+        ]
+        assert harness.main(["--trend-window", "3", *common]) == 0
+        record = json.loads(history.read_text().splitlines()[-1])
+        assert "partition" in record["stage_profile"]["smoke.x_ms"]
+        # Without the trend gate, no profiling pass runs or is recorded.
+        assert harness.main(common) == 0
+        record = json.loads(history.read_text().splitlines()[-1])
+        assert "stage_profile" not in record
+
+
 class TestSuites:
     def test_figures_suite_covers_every_figure_workload(self, harness):
         """Every per-figure runner is wrapped, and each workload really

@@ -125,7 +125,7 @@ class TestBuiltReport:
         assert data["quality"]["summaries"] == report.quality["summaries"]
         assert set(data) == {
             "created_unix", "environment", "stages", "resilience",
-            "quality", "metrics", "serving", "containment",
+            "quality", "metrics", "serving", "containment", "latency",
         }
 
     def test_write_pair(self, report, tmp_path):

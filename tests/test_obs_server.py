@@ -105,6 +105,27 @@ class TestEndpoints:
         assert ops["uptime_s"] >= 0.0
         assert ops["url"] == server.url
 
+    def test_status_includes_slo_block_when_engine_active(self, server):
+        _, payload = _get_json(server.url + "/status")
+        assert "slo" not in payload  # no engine, no block
+        obs.enable_slo([obs.SLObjective(
+            name="lat", kind="latency_p95", threshold_ms=100.0,
+            min_samples=1,
+        )])
+        try:
+            for _ in range(3):
+                obs.emit_event("item_end", ok=True, duration_ms=500.0)
+            status, payload = _get_json(server.url + "/status")
+            assert status == 200
+            slo = payload["slo"]
+            assert slo["samples"] == 3
+            objective = slo["objectives"][0]
+            assert objective["objective"]["name"] == "lat"
+            assert objective["breached"] is True
+            assert objective["p95_ms"] == pytest.approx(500.0)
+        finally:
+            obs.disable_slo()
+
     def test_events_tail_and_n_param(self, server):
         bus = obs.enable_events()
         for i in range(5):

@@ -323,6 +323,78 @@ def _cmd_ops_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The request front-end behind the live ops surface.
+
+    Builds the scenario, starts a :class:`repro.server.SummarizationServer`,
+    and pushes batches of simulated trips through it from a rotation of
+    tenants — the ``ops-serve`` loop upgraded from driving
+    ``summarize_many`` directly to going through the queue, admission,
+    and hot caches, so ``/status`` shows the ``server`` block and
+    ``/events`` the ``request_enqueued``/``request_done`` stream.
+    """
+    from repro import obs
+    from repro.server import ServerConfig, SummarizationServer
+
+    obs.enable_metrics()
+    obs.enable_events()
+    scenario = _build_scenario(args.seed, args.training)
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+    config = ServerConfig(
+        consumers=args.consumers,
+        workers=args.workers,
+        executor=args.executor,
+        default_deadline_s=args.deadline,
+        # The rotation's first tenant gets double weight, so the WRR
+        # fairness machinery is visibly exercised on the event stream.
+        tenant_weights={tenants[0]: 2} if len(tenants) > 1 else {},
+    )
+    server = SummarizationServer(scenario.stmaker, config)
+    server.start()  # registers the /status "server" block, flips /readyz
+    ops_server = obs.active_ops_server()
+    if ops_server is not None:
+        print(f"ops surface listening on {ops_server.url}", file=sys.stderr)
+    handles = []
+    try:
+        for batch in range(args.requests):
+            trips = [
+                scenario.simulate_trip(
+                    depart_time=(6.0 + ((batch * args.trips + i) % 64) * 0.25)
+                    * 3600.0
+                ).raw
+                for i in range(args.trips)
+            ]
+            handles.append(server.submit(
+                trips, tenant=tenants[batch % len(tenants)], k=args.k
+            ))
+        ok = quarantined = 0
+        for handle in handles:
+            result = handle.result(timeout=args.timeout)
+            ok += result.ok_count
+            quarantined += result.quarantined_count
+    except KeyboardInterrupt:
+        logger.info("interrupted; shutting down the request front-end")
+        server.stop(drain=False)
+        return 130
+    finally:
+        if server.running:
+            server.stop()
+    stats = server.stats()
+    caches = server.caches
+    print(
+        f"served {stats['served']}/{stats['submitted']} request(s) from "
+        f"{len(tenants)} tenant(s): ok={ok} quarantined={quarantined}",
+        file=sys.stderr,
+    )
+    print(
+        "hot caches: routes "
+        f"{caches.routes.stats()['hit_rate']:.0%} hit rate, anchors "
+        f"{caches.anchors.stats()['hit_rate']:.0%} hit rate",
+        file=sys.stderr,
+    )
+    return 0 if stats["failed"] == 0 else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro import experiments as exp
 
@@ -603,6 +675,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ops.set_defaults(func=_cmd_ops_serve)
 
+    serve = sub.add_parser(
+        "serve", parents=[obs_flags],
+        help="run the request front-end (queue + hot caches) behind the "
+        "live HTTP ops surface",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="ops surface port on 127.0.0.1 (default: 0, ephemeral)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=8, metavar="N",
+        help="simulated requests to push through the server (default: 8)",
+    )
+    serve.add_argument(
+        "--trips", type=int, default=5, help="simulated trips per request"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=2, metavar="N",
+        help="simulated tenants submitting round-robin (default: 2)",
+    )
+    serve.add_argument("-k", type=int, default=None, help="partition count")
+    serve.add_argument(
+        "--consumers", type=int, default=1, metavar="N",
+        help="queue consumer threads (default: 1)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="summarize_many workers per request (default: 1, serial)",
+    )
+    serve.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="pool backend for each request (default: thread)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline budget, counted from enqueue",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="max wait for each response (default: 300)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     obs_cmd = sub.add_parser(
         "obs",
         help="offline analysis of recorded observability artifacts",
@@ -680,7 +795,7 @@ def main(argv: list[str] | None = None) -> int:
     if flight_dir is not None:
         obs.enable_flight_recorder(dump_dir=flight_dir)
     ops_port = getattr(args, "ops_port", None)
-    if ops_port is None and args.command == "ops-serve":
+    if ops_port is None and args.command in ("ops-serve", "serve"):
         ops_port = args.port
     ops_server = None
     if ops_port is not None:

@@ -111,3 +111,14 @@ class ServingError(ReproError):
     or out-of-range item indices during reassembly), never bad user input —
     bad items are quarantined, not raised.
     """
+
+
+class ServerClosedError(ReproError):
+    """The request front-end is not accepting or serving work.
+
+    Raised by :meth:`repro.server.SummarizationServer.submit` when the
+    server has not been started (or has been stopped), and delivered
+    through pending :class:`~repro.server.RequestHandle` s when a
+    non-draining ``stop()`` abandons queued requests — a typed verdict,
+    never a hang.
+    """

@@ -89,8 +89,11 @@ from repro.obs.server import (
     OpsServer,
     active_ops_server,
     mark_ready,
+    register_status_section,
     start_ops_server,
+    status_sections,
     stop_ops_server,
+    unregister_status_section,
 )
 from repro.obs.slo import (
     SLO_KINDS,
@@ -185,6 +188,9 @@ __all__ = [
     "stop_ops_server",
     "active_ops_server",
     "mark_ready",
+    "register_status_section",
+    "unregister_status_section",
+    "status_sections",
     # events
     "EVENT_KINDS",
     "PipelineEvent",

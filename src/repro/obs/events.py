@@ -49,6 +49,8 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "breaker_open",   # a circuit breaker tripped; payload has failure_rate
     "breaker_close",  # ... recovered after a successful half-open probe
     "load_shed",      # admission control rejected or degraded an intake
+    "request_enqueued",  # the serving front-end queued an admitted request
+    "request_done",   # ... settled it; payload has status/ok/duration_ms
     "item_end",       # one batch item settled; payload has ok/duration_ms/
                       # trace_id + the latency breakdown (feeds the SLO engine)
     "slo_breach",     # an SLO objective left its target; payload names it

@@ -262,7 +262,51 @@ class OpsServer:
         engine = slo_engine()
         if engine is not None:
             payload["slo"] = engine.snapshot()
+        for name, provider in status_sections().items():
+            try:
+                payload[name] = provider()
+            except Exception as exc:  # a broken provider must not 500 /status
+                payload[name] = {"error": f"{type(exc).__name__}: {exc}"}
         return payload
+
+
+#: Keys :meth:`OpsServer.status` produces itself; providers cannot shadow
+#: them (nor the RunReport's own top-level keys — first write wins there
+#: is the provider's, so they are merely discouraged, but these two would
+#: silently disappear).
+_RESERVED_SECTIONS = frozenset({"ops", "slo"})
+
+_status_sections: dict[str, object] = {}
+_sections_lock = threading.Lock()
+
+
+def register_status_section(name: str, provider) -> None:
+    """Add a named block to every ``/status`` payload.
+
+    *provider* is a zero-argument callable returning a JSON-serializable
+    dict, invoked per scrape; exceptions are captured into the block
+    instead of failing the endpoint.  How subsystems without their own
+    HTTP surface (the request front-end's queue depths and cache stats)
+    appear on the one ops page.  Re-registering a name replaces it.
+    """
+    if name in _RESERVED_SECTIONS:
+        raise ValueError(
+            f"status section {name!r} is reserved; pick another name"
+        )
+    with _sections_lock:
+        _status_sections[name] = provider
+
+
+def unregister_status_section(name: str) -> None:
+    """Remove a registered section (no-op when absent)."""
+    with _sections_lock:
+        _status_sections.pop(name, None)
+
+
+def status_sections() -> dict[str, object]:
+    """A snapshot of the registered section providers."""
+    with _sections_lock:
+        return dict(_status_sections)
 
 
 _active: OpsServer | None = None

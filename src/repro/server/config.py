@@ -1,0 +1,107 @@
+"""Declarative configuration for the summarization server.
+
+One frozen dataclass carries everything the front-end needs: queue
+bounds and tenant weights, deadline defaults, the serving-path knobs it
+forwards to :meth:`~repro.core.STMaker.summarize_many` (workers, shard
+size/mode, executor), hot-cache capacities, and the admission budget it
+builds its :class:`~repro.serving.AdmissionController` from.  Validation
+happens at construction, so a bad config fails at server build time, not
+on the first request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import ConfigError
+from repro.serving import EXECUTORS, SHARD_MODES, SHED_POLICIES
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Everything a :class:`~repro.server.SummarizationServer` is built from.
+
+    Queue semantics: requests are FIFO within a tenant and drained by
+    weighted round-robin across tenants (``tenant_weights``; unlisted
+    tenants weigh ``1``).  ``max_queue_requests`` bounds the *queue* in
+    requests; ``max_queued_items`` bounds *admission* in items (the same
+    budget :class:`~repro.serving.AdmissionPolicy` enforces for direct
+    ``summarize_many`` callers), with per-tenant ``tenant_budgets`` on
+    top.  ``default_deadline_s`` / ``tenant_deadline_s`` start counting
+    at enqueue — time spent queued eats the request's budget.
+    """
+
+    #: Max requests queued across all tenants; submits beyond raise
+    #: :class:`~repro.exceptions.OverloadError`.
+    max_queue_requests: int = 64
+    #: Weighted-round-robin weight per tenant (missing tenants weigh 1).
+    tenant_weights: Mapping[str, int] = field(default_factory=dict)
+    #: Tenant a request without one is accounted to.
+    default_tenant: str = "default"
+    #: Per-request deadline budget (seconds from enqueue); ``None`` = none.
+    default_deadline_s: float | None = None
+    #: Per-tenant overrides of ``default_deadline_s``.
+    tenant_deadline_s: Mapping[str, float] = field(default_factory=dict)
+    #: Consumer threads draining the queue.
+    consumers: int = 1
+    #: ``summarize_many`` pool shape used to serve each request.
+    workers: int = 1
+    shard_size: int | None = None
+    shard_mode: str = "balanced"
+    executor: str = "thread"
+    #: Hot-cache capacities (see :mod:`repro.server.cache`).
+    route_cache_size: int = 256
+    anchor_cache_size: int = 4096
+    #: Admission budget in items (``None`` = unbounded globally).
+    max_queued_items: int | None = None
+    #: Per-tenant admission budgets in items.
+    tenant_budgets: Mapping[str, int] = field(default_factory=dict)
+    #: What to do with work over budget: ``"reject"`` or ``"degrade"``.
+    shed: str = "reject"
+    #: Partition count served under ``shed="degrade"``.
+    degrade_k: int = 1
+    #: Requests at or above this priority skip admission budgets.
+    bypass_priority: int | None = None
+    #: Route each request through the ``serving.<executor>`` circuit
+    #: breaker (:func:`repro.serving.get_breaker`).
+    breaker: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queue_requests < 1:
+            raise ConfigError(
+                f"max_queue_requests must be >= 1, got {self.max_queue_requests}"
+            )
+        if self.consumers < 1:
+            raise ConfigError(f"consumers must be >= 1, got {self.consumers}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.shard_mode not in SHARD_MODES:
+            raise ConfigError(
+                f"unknown shard_mode {self.shard_mode!r}; "
+                f"expected one of {SHARD_MODES}"
+            )
+        if self.shed not in SHED_POLICIES:
+            raise ConfigError(
+                f"unknown shed policy {self.shed!r}; "
+                f"expected one of {SHED_POLICIES}"
+            )
+        for tenant, weight in self.tenant_weights.items():
+            if weight < 1:
+                raise ConfigError(
+                    f"tenant weight must be >= 1, got {weight} for {tenant!r}"
+                )
+        for tenant, deadline in self.tenant_deadline_s.items():
+            if deadline < 0.0:
+                raise ConfigError(
+                    f"tenant deadline must be >= 0, got {deadline} for {tenant!r}"
+                )
+        if self.route_cache_size < 1 or self.anchor_cache_size < 1:
+            raise ConfigError(
+                "cache sizes must be >= 1, got "
+                f"routes={self.route_cache_size} anchors={self.anchor_cache_size}"
+            )

@@ -1,0 +1,167 @@
+"""Bounded multi-tenant request queue with weighted round-robin draining.
+
+The ordering contract, pinned by ``tests/test_server_properties.py``:
+
+* **FIFO within a tenant** — each tenant has its own lane (a deque);
+  requests from one tenant are served in submission order, always.
+* **Weighted round-robin across tenants** — the consumer cycles lanes in
+  registration order; a tenant with weight *w* is served at most *w*
+  consecutive requests before the cycle moves on, so no tenant starves
+  however fast another submits.
+* **Bounded** — ``put`` over capacity raises a typed
+  :class:`~repro.exceptions.OverloadError` instead of growing without
+  bound (back-pressure, not an outage).
+
+``close()`` flips the queue into drain mode: ``put`` raises
+:class:`~repro.exceptions.ServerClosedError`, while ``take`` keeps
+handing out the backlog and returns ``None`` once it is empty — how the
+server's consumers finish gracefully.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Generic, Mapping, TypeVar
+
+from repro.exceptions import ConfigError, OverloadError, ServerClosedError, ServingError
+
+T = TypeVar("T")
+
+
+class RequestQueue(Generic[T]):
+    """Per-tenant FIFO lanes drained by weighted round-robin (thread-safe)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        weights: Mapping[str, int] | None = None,
+        default_weight: int = 1,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        if default_weight < 1:
+            raise ConfigError(
+                f"default_weight must be >= 1, got {default_weight}"
+            )
+        self.capacity = capacity
+        self._weights = dict(weights or {})
+        for tenant, weight in self._weights.items():
+            if weight < 1:
+                raise ConfigError(
+                    f"tenant weight must be >= 1, got {weight} for {tenant!r}"
+                )
+        self._default_weight = default_weight
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._lanes: OrderedDict[str, deque[T]] = OrderedDict()
+        self._rotation: list[str] = []
+        self._cursor = 0       # index into _rotation: whose turn it is
+        self._credits = 0      # requests served from that tenant this turn
+        self._size = 0
+        self._closed = False
+
+    def weight(self, tenant: str) -> int:
+        return self._weights.get(tenant, self._default_weight)
+
+    # -- producer side ----------------------------------------------------------
+
+    def put(self, tenant: str, entry: T) -> int:
+        """Append *entry* to *tenant*'s lane; returns the new total depth.
+
+        Raises :class:`OverloadError` at capacity and
+        :class:`ServerClosedError` after :meth:`close`.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise ServerClosedError(
+                    "request queue is closed; the server is stopping"
+                )
+            if self._size >= self.capacity:
+                raise OverloadError(
+                    f"request queue is full ({self._size}/{self.capacity} "
+                    f"requests); retry later or raise max_queue_requests"
+                )
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = deque()
+                self._lanes[tenant] = lane
+                self._rotation.append(tenant)
+            lane.append(entry)
+            self._size += 1
+            self._not_empty.notify()
+            return self._size
+
+    # -- consumer side ----------------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> tuple[str, T] | None:
+        """The next ``(tenant, entry)`` under weighted round-robin.
+
+        Blocks up to *timeout* seconds (forever when ``None``) for work.
+        Returns ``None`` on timeout, or immediately once the queue is
+        closed **and** drained.
+        """
+        with self._not_empty:
+            while True:
+                if self._size > 0:
+                    return self._pop_wrr()
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+
+    def _pop_wrr(self) -> tuple[str, T]:
+        """One WRR scheduling step; caller holds the lock and size > 0."""
+        n = len(self._rotation)
+        for _ in range(2 * n + 1):
+            if self._cursor >= n:
+                self._cursor = 0
+            tenant = self._rotation[self._cursor]
+            lane = self._lanes[tenant]
+            if lane and self._credits < self.weight(tenant):
+                self._credits += 1
+                self._size -= 1
+                return tenant, lane.popleft()
+            # This tenant's turn is over (lane empty, or weight spent):
+            # the next tenant starts with a fresh credit allowance.
+            self._cursor += 1
+            self._credits = 0
+        raise ServingError(
+            "weighted round-robin found no queued entry despite "
+            f"size={self._size}"
+        )  # pragma: no cover - internal invariant
+
+    def drain(self) -> list[tuple[str, T]]:
+        """Atomically remove and return every queued entry (stop path)."""
+        with self._not_empty:
+            out: list[tuple[str, T]] = []
+            while self._size > 0:
+                out.append(self._pop_wrr())
+            return out
+
+    # -- lifecycle / introspection ----------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new entries; wake blocked consumers to drain and exit."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depths(self) -> dict[str, int]:
+        """Queued requests per tenant (tenants seen so far, even if 0)."""
+        with self._lock:
+            return {tenant: len(lane) for tenant, lane in self._lanes.items()}
+
+    def __len__(self) -> int:
+        return self.size

@@ -17,6 +17,35 @@ from repro.roadnet import (
 CITY_CENTER = GeoPoint(39.91, 116.40)
 
 
+@pytest.fixture(autouse=True)
+def _isolate_process_globals():
+    """Reset process-wide singletons after every test.
+
+    The breaker registry (:func:`repro.serving.get_breaker`), the tracked
+    ops server, the status-section registry, and the obs enable/disable
+    globals are process-wide by design — which means a test that enables
+    one and fails (or just forgets to disable) leaks it into every test
+    that runs after it.  This guard makes each test see the pristine
+    disabled-by-default world, so suites pass in any order and under
+    ``-p no:randomly``-style reshuffles alike.
+    """
+    yield
+    from repro import obs
+    from repro.serving import reset_breakers
+
+    reset_breakers()
+    obs.stop_ops_server()
+    for name in list(obs.status_sections()):
+        obs.unregister_status_section(name)
+    obs.disable_slo()
+    obs.disable_flight_recorder()
+    obs.disable_events()
+    obs.disable_tracing()
+    obs.disable_metrics()
+    obs.clear_span_context()
+    obs.clear_stage_sink()
+
+
 @pytest.fixture(scope="session")
 def projector() -> LocalProjector:
     return LocalProjector(CITY_CENTER)

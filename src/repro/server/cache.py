@@ -139,11 +139,18 @@ class HotQueryCaches:
     ``routes`` memoizes :meth:`FeatureSelector._popular_hops` — the whole
     popular-route + per-hop feature chain, the dominant per-partition
     cost — and ``anchors`` memoizes
-    :meth:`~repro.routes.HistoricalFeatureMap.regular_value`.  The
-    fingerprint rides in every key, so even a missed invalidation could
-    never serve an entry computed against a different artifact; on a
-    fingerprint change :meth:`invalidate` additionally drops the dead
-    entries so they stop occupying capacity.
+    :meth:`~repro.routes.HistoricalFeatureMap.regular_value`.  Every key
+    carries the fingerprint *captured when its view was built* (not read
+    at lookup time): a view computes only from the model it wraps, so its
+    entries must be keyed by that model's fingerprint even if
+    :meth:`invalidate` adopts a new one mid-request — otherwise an
+    in-flight request during a swap would store old-model values under
+    new-fingerprint keys and poison the new model's cache.  With captured
+    keys, a request racing a swap writes only under the old, already
+    cleared fingerprint; those stragglers are unreachable from the new
+    view and age out of the LRU.  On a fingerprint change
+    :meth:`invalidate` additionally drops the dead entries so they stop
+    occupying capacity.
     """
 
     def __init__(
@@ -207,17 +214,23 @@ class _CachingFeatureMap:
     ``None`` answers (hop never observed in training) are cached too —
     they trigger the selector's observed-value fallback every time, so
     recomputing them would be pure waste.
+
+    *fingerprint* is the identity of the wrapped model, captured at
+    construction — never re-read from the (shared, swappable) caches, so
+    a request in flight across :meth:`HotQueryCaches.invalidate` can only
+    write under the fingerprint its values were computed from.
     """
 
-    __slots__ = ("_base", "_caches")
+    __slots__ = ("_base", "_caches", "_fingerprint")
 
-    def __init__(self, base, caches: HotQueryCaches) -> None:
+    def __init__(self, base, caches: HotQueryCaches, fingerprint: str) -> None:
         self._base = base
         self._caches = caches
+        self._fingerprint = fingerprint
 
     def regular_value(self, src: int, dst: int, key: str):
         caches = self._caches
-        cache_key = (caches.fingerprint, src, dst, key)
+        cache_key = (self._fingerprint, src, dst, key)
         value = caches.anchors.get(cache_key)
         if value is MISS:
             value = self._base.regular_value(src, dst, key)
@@ -233,23 +246,28 @@ class CachingFeatureSelector(FeatureSelector):
 
     Both overrides are pure functions of immutable trained state, so the
     cached answers are exactly what the base class would recompute —
-    the summaries stay byte-identical.
+    the summaries stay byte-identical.  The fingerprint in every key is
+    snapshotted at construction (see :class:`_CachingFeatureMap`), so a
+    selector outlived by a model swap keeps writing under the fingerprint
+    of the model it actually reads.
     """
 
     def __init__(self, base: FeatureSelector, caches: HotQueryCaches) -> None:
+        fingerprint = caches.fingerprint
         super().__init__(
             base.registry, base.config, base.pipeline, base.popular_routes,
-            _CachingFeatureMap(base.feature_map, caches), base.landmarks,
+            _CachingFeatureMap(base.feature_map, caches, fingerprint),
+            base.landmarks,
         )
         self.caches = caches
+        self._fingerprint = fingerprint
 
     def _popular_hops(self, src: int, dst: int):
-        caches = self.caches
-        key = (caches.fingerprint, src, dst)
-        hops = caches.routes.get(key)
+        key = (self._fingerprint, src, dst)
+        hops = self.caches.routes.get(key)
         if hops is MISS:
             hops = super()._popular_hops(src, dst)
-            caches.routes.put(key, hops)
+            self.caches.routes.put(key, hops)
         return hops
 
 

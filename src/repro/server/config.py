@@ -95,6 +95,10 @@ class ServerConfig:
                 raise ConfigError(
                     f"tenant weight must be >= 1, got {weight} for {tenant!r}"
                 )
+        if self.default_deadline_s is not None and self.default_deadline_s < 0.0:
+            raise ConfigError(
+                f"default_deadline_s must be >= 0, got {self.default_deadline_s}"
+            )
         for tenant, deadline in self.tenant_deadline_s.items():
             if deadline < 0.0:
                 raise ConfigError(

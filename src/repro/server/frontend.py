@@ -175,6 +175,8 @@ class SummarizationServer:
         self._lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._running = False
+        self._stopped = False
+        self._gauge_tenants: set[str] = set()
         self._ids = itertools.count(1)
         self._submitted = 0
         self._served = 0
@@ -185,10 +187,20 @@ class SummarizationServer:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> "SummarizationServer":
-        """Start the consumer threads and register the ops surface."""
+        """Start the consumer threads and register the ops surface.
+
+        One-shot: a server that has been :meth:`stop`-ped cannot be
+        restarted (its request queue is closed for good) — build a fresh
+        :class:`SummarizationServer` instead.
+        """
         with self._lock:
             if self._running:
                 return self
+            if self._stopped:
+                raise ServerClosedError(
+                    "server cannot be restarted after stop(); build a new "
+                    "SummarizationServer"
+                )
             self._running = True
         self._threads = [
             threading.Thread(
@@ -218,6 +230,7 @@ class SummarizationServer:
             if not self._running:
                 return
             self._running = False
+            self._stopped = True
         if not drain:
             for _tenant, entry in self._queue.drain():
                 entry.ticket.release()
@@ -232,6 +245,7 @@ class SummarizationServer:
             thread.join(timeout=timeout)
         unregister_status_section("server")
         metrics().gauge("server.up").set(0.0)
+        mark_ready(False)
         self._publish_queue_gauges()
 
     def __enter__(self) -> "SummarizationServer":
@@ -286,6 +300,11 @@ class SummarizationServer:
             if deadline_s is _UNSET
             else deadline_s
         )
+        # Validate the deadline (Deadline raises ConfigError on a negative
+        # budget) *before* taking an admission ticket — failing after
+        # admit() would leak the ticket and permanently eat queued-item
+        # budget.
+        deadline = Deadline(effective_deadline)
         try:
             ticket = self.admission.admit(
                 len(items), tenant=tenant, priority=priority
@@ -303,7 +322,7 @@ class SummarizationServer:
             sanitize=sanitize, sanitizer_config=sanitizer_config,
             strict=strict, retry=retry, sleeper=sleeper,
             deadline_s=effective_deadline,
-            deadline=Deadline(effective_deadline),
+            deadline=deadline,
             ticket=ticket,
         )
         try:
@@ -433,7 +452,16 @@ class SummarizationServer:
     def _publish_queue_gauges(self) -> None:
         m = metrics()
         m.gauge("server.queue.depth").set(float(self._queue.size))
-        for tenant, depth in self._queue.depths().items():
+        depths = self._queue.depths()
+        with self._lock:
+            # Drained tenant lanes are dropped from the queue entirely
+            # (bounded tenant cardinality); zero their gauges once so
+            # they don't freeze at the last published depth.
+            stale = self._gauge_tenants - depths.keys()
+            self._gauge_tenants = set(depths)
+        for tenant in stale:
+            m.gauge(f"server.queue.depth.{tenant}").set(0.0)
+        for tenant, depth in depths.items():
             m.gauge(f"server.queue.depth.{tenant}").set(float(depth))
 
     def stats(self) -> dict[str, int]:

@@ -7,7 +7,10 @@ The ordering contract, pinned by ``tests/test_server_properties.py``:
 * **Weighted round-robin across tenants** — the consumer cycles lanes in
   registration order; a tenant with weight *w* is served at most *w*
   consecutive requests before the cycle moves on, so no tenant starves
-  however fast another submits.
+  however fast another submits.  A drained lane is dropped on the spot
+  (the tenant rejoins at the back of the rotation on its next ``put``),
+  so idle tenants cost no memory, no WRR scan time, and no gauges —
+  tenant cardinality is bounded by the queued backlog, not by history.
 * **Bounded** — ``put`` over capacity raises a typed
   :class:`~repro.exceptions.OverloadError` instead of growing without
   bound (back-pressure, not an outage).
@@ -122,7 +125,16 @@ class RequestQueue(Generic[T]):
             if lane and self._credits < self.weight(tenant):
                 self._credits += 1
                 self._size -= 1
-                return tenant, lane.popleft()
+                entry = lane.popleft()
+                if not lane:
+                    # Drop the drained lane so tenant cardinality stays
+                    # bounded (memory, the WRR scan, per-tenant gauges).
+                    # The rotation slot at _cursor disappears: the next
+                    # tenant slides into it, starting a fresh turn.
+                    del self._lanes[tenant]
+                    self._rotation.pop(self._cursor)
+                    self._credits = 0
+                return tenant, entry
             # This tenant's turn is over (lane empty, or weight spent):
             # the next tenant starts with a fresh credit allowance.
             self._cursor += 1
@@ -159,7 +171,11 @@ class RequestQueue(Generic[T]):
             return self._size
 
     def depths(self) -> dict[str, int]:
-        """Queued requests per tenant (tenants seen so far, even if 0)."""
+        """Queued requests per tenant (tenants with a non-empty lane).
+
+        Drained lanes are removed eagerly — an idle tenant costs nothing
+        here, in the WRR rotation, or in the per-tenant depth gauges.
+        """
         with self._lock:
             return {tenant: len(lane) for tenant, lane in self._lanes.items()}
 

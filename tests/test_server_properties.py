@@ -106,6 +106,21 @@ def test_rotation_skips_emptied_lanes():
     assert queue.take(timeout=0.0) is None
 
 
+def test_drained_tenant_lanes_are_dropped():
+    """Idle tenants cost nothing: a drained lane leaves the queue entirely."""
+    queue: RequestQueue[int] = RequestQueue(capacity=32)
+    for t in range(12):
+        queue.put(f"tenant-{t}", t)
+    for _ in range(12):
+        assert queue.take(timeout=0.0) is not None
+    assert queue.depths() == {}
+    # A returning tenant simply re-registers — FIFO + WRR still hold.
+    queue.put("tenant-3", 99)
+    assert queue.depths() == {"tenant-3": 1}
+    assert queue.take(timeout=0.0) == ("tenant-3", 99)
+    assert queue.depths() == {}
+
+
 def test_queue_overflow_is_typed():
     queue: RequestQueue[int] = RequestQueue(capacity=2)
     queue.put("a", 0)
@@ -268,6 +283,31 @@ def test_cached_view_fingerprint_matches_artifact(scenario, tmp_path):
     assert model_fingerprint(scenario.stmaker) == artifact_info(path).fingerprint
 
 
+def test_view_keys_pin_build_time_fingerprint():
+    """A view racing a model swap cannot poison the new model's cache.
+
+    The fingerprint in a cache key is captured when the view is built,
+    not read at lookup time: a request in flight across
+    ``invalidate(new_fp)`` computes from the OLD model, so its writes
+    must land under the old (already cleared) fingerprint — never under
+    the new one, where later requests would mistake them for new-model
+    values.
+    """
+    from repro.server.cache import _CachingFeatureMap
+
+    class _StubMap:
+        def regular_value(self, src: int, dst: int, key: str) -> float:
+            return 42.0
+
+    caches = HotQueryCaches("fp-old", route_capacity=8, anchor_capacity=8)
+    view_map = _CachingFeatureMap(_StubMap(), caches, caches.fingerprint)
+    # The swap happens while this view's request is still in flight.
+    assert caches.invalidate("fp-new") is True
+    assert view_map.regular_value(1, 2, "speed") == 42.0
+    assert ("fp-old", 1, 2, "speed") in caches.anchors  # straggler, dead key
+    assert ("fp-new", 1, 2, "speed") not in caches.anchors  # never poisoned
+
+
 # -- server lifecycle and deadlines -------------------------------------------
 
 
@@ -279,6 +319,38 @@ def test_submit_before_start_and_after_stop_raise(scenario, corpus):
     server.stop()
     with pytest.raises(ServerClosedError, match="not running"):
         server.submit(corpus)
+    # The queue is closed for good: restarting would yield a server that
+    # claims to run but can never serve — refuse it loudly instead.
+    with pytest.raises(ServerClosedError, match="cannot be restarted"):
+        server.start()
+    assert server.running is False
+
+
+def test_stop_clears_ops_readiness(scenario):
+    """/readyz must stop answering 200 once the front-end is gone."""
+    from repro import obs
+
+    ops = obs.start_ops_server(port=0)
+    try:
+        with SummarizationServer(scenario.stmaker, ServerConfig()):
+            assert ops.is_ready() is True
+        assert ops.is_ready() is False
+    finally:
+        obs.stop_ops_server()
+
+
+def test_negative_deadline_rejected_without_leaking_admission(scenario, corpus):
+    """A bad per-request deadline fails fast and releases no-op cleanly:
+    the admission ticket must not be consumed (it was never taken)."""
+    config = ServerConfig(max_queued_items=len(corpus))
+    with SummarizationServer(scenario.stmaker, config) as server:
+        for _ in range(3):  # a leak would exhaust the budget by round 2
+            with pytest.raises(ConfigError, match="deadline budget"):
+                server.submit(corpus, deadline_s=-1.0)
+        assert server.admission.queued_items == 0
+        # The full item budget is still there: a valid submit sails through.
+        handle = server.submit(corpus)
+        assert handle.result(timeout=TIMEOUT_S).ok_count == len(corpus)
 
 
 def test_expired_deadline_is_typed_shed_not_hang(scenario, corpus):
@@ -454,3 +526,7 @@ def test_server_config_validation():
         ServerConfig(shed="explode")
     with pytest.raises(ConfigError):
         ServerConfig(tenant_weights={"a": 0})
+    with pytest.raises(ConfigError):
+        ServerConfig(default_deadline_s=-1.0)
+    with pytest.raises(ConfigError):
+        ServerConfig(tenant_deadline_s={"a": -1.0})
